@@ -1,0 +1,62 @@
+"""Benchmark-suite configuration.
+
+Each ``test_*`` benchmark regenerates one paper table or figure and
+prints the reproduced rows/series (captured with ``-s`` or in the
+pytest-benchmark report context), so ``pytest benchmarks/
+--benchmark-only`` doubles as the paper-reproduction run.
+
+Scaling knobs (environment):
+
+* ``REPRO_BENCH_FULL=1``  — run all 36 workloads / 50 mixes as the paper
+  does (tens of minutes) instead of the representative quick subset.
+* ``REPRO_BENCH_LENGTH``  — trace window length (default 200000).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+QUICK_WORKLOADS = ("pr.kron", "cc.friendster", "bfs.urand", "sssp.road",
+                   "bc.twitter", "tc.web")
+
+
+@pytest.fixture
+def show(capsys):
+    """Print a reproduced paper table bypassing pytest's capture, so it
+    appears in plain `pytest benchmarks/ --benchmark-only` output (and
+    thus in the committed bench_output.txt) without needing -s."""
+    def _show(*chunks):
+        with capsys.disabled():
+            print()
+            for chunk in chunks:
+                print(chunk)
+    return _show
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+LENGTH = int(os.environ.get("REPRO_BENCH_LENGTH", "200000"))
+
+
+@pytest.fixture(scope="session")
+def bench_workloads():
+    """Workload subset for single-core benches."""
+    if FULL:
+        return None      # the figure functions default to all 36
+    return list(QUICK_WORKLOADS)
+
+
+@pytest.fixture(scope="session")
+def bench_length():
+    return LENGTH
+
+
+@pytest.fixture(scope="session")
+def bench_mixes():
+    return 50 if FULL else 4
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1,
+                              iterations=1)

@@ -1,0 +1,87 @@
+"""Microbenchmarks of the simulator substrate itself: these track the
+throughput of the hot paths (cache access loop, LP, trace generation,
+timing model) so performance regressions in the infrastructure are
+visible independently of the paper experiments."""
+
+import numpy as np
+import pytest
+
+from repro.config import scaled_config
+from repro.core.lp import LargePredictor
+from repro.core.system import SingleCoreSystem
+from repro.graphs.generators import kronecker_graph
+from repro.mem.cache import SetAssocCache
+from repro.mem.timing import CoreTimer
+from repro.trace.kernels import trace_pagerank
+
+
+@pytest.fixture(scope="module")
+def kron12():
+    return kronecker_graph(12, 8, seed=1)
+
+
+@pytest.fixture(scope="module")
+def trace50k(kron12):
+    return trace_pagerank(kron12, iterations=1, max_accesses=50_000)
+
+
+def test_cache_access_throughput(benchmark):
+    cfg = scaled_config(16)
+    cache = SetAssocCache(cfg.llc)
+    rng = np.random.default_rng(0)
+    blocks = rng.integers(0, 1 << 16, size=20_000).tolist()
+
+    def run():
+        for b in blocks:
+            if not cache.access(b, False):
+                cache.fill(b)
+
+    benchmark(run)
+
+
+def test_lp_throughput(benchmark):
+    lp = LargePredictor()
+    rng = np.random.default_rng(0)
+    pcs = rng.integers(0, 64, size=20_000).tolist()
+    addrs = rng.integers(0, 1 << 24, size=20_000).tolist()
+
+    def run():
+        for pc, addr in zip(pcs, addrs):
+            lp.predict_and_update(pc, addr)
+
+    benchmark(run)
+
+
+def test_timing_model_throughput(benchmark):
+    cfg = scaled_config(16)
+    rng = np.random.default_rng(0)
+    lats = rng.choice([4, 14, 70, 120], size=20_000).tolist()
+
+    def run():
+        t = CoreTimer(cfg.core, 10, 4)
+        for lat in lats:
+            t.access(2, lat, None)
+
+    benchmark(run)
+
+
+def test_trace_generation_throughput(benchmark, kron12):
+    result = benchmark(trace_pagerank, kron12, iterations=1,
+                       max_accesses=100_000)
+    assert len(result) > 0
+
+
+def test_end_to_end_simulation_throughput(benchmark, trace50k):
+    cfg = scaled_config(16)
+
+    def run():
+        return SingleCoreSystem(cfg, "sdc_lp").run(trace50k)
+
+    stats = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert stats.instructions > 0
+
+
+def test_graph_generation_throughput(benchmark):
+    g = benchmark.pedantic(kronecker_graph, args=(14, 8),
+                           kwargs={"seed": 3}, rounds=1, iterations=1)
+    assert g.num_vertices == 1 << 14

@@ -1,0 +1,23 @@
+"""Table IV — hardware budget per core.
+
+Paper result: SDC 8.69 KB, LP 0.54 KB, SDCDir 0.77 KB — 10 KB total;
+LP access (0.24 ns) fits in one 2.166 GHz cycle (§V-E).
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.core.budget import (hardware_budget, lp_fits_in_one_cycle,
+                               table4, total_budget_kb)
+
+
+def test_table4_budget(benchmark, show):
+    rows = run_once(benchmark, hardware_budget)
+    show("Table IV — hardware budget per core")
+    show(table4())
+    by_name = {r.name: r for r in rows}
+    assert by_name["SDC"].total_kb == pytest.approx(8.69, abs=0.01)
+    assert by_name["LP"].total_kb == pytest.approx(0.54, abs=0.01)
+    assert by_name["SDCDir"].total_kb == pytest.approx(0.77, abs=0.01)
+    assert total_budget_kb() == pytest.approx(10.0, abs=0.2)
+    assert lp_fits_in_one_cycle()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Bring your own graph: file I/O -> kernels -> simulation.
+
+Shows the workflow a downstream user follows with a real dataset
+(SNAP-style edge list): load the file, run the analytics kernels for
+the answers, then trace a kernel and compare memory-system designs —
+including reordering the graph first.
+
+Run:  python examples/custom_graph.py [path/to/graph.el]
+      (generates a demo edge list if no path is given)
+"""
+
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.config import scaled_config
+from repro.core.system import SingleCoreSystem
+from repro.graphs import apply_order, load_edgelist, save_edgelist
+from repro.graphs.generators import power_law_graph
+from repro.graphs.reorder import degree_sort_order
+from repro.kernels import connected_components, pagerank, triangle_count
+from repro.trace.kernels import trace_pagerank
+
+
+def demo_file() -> Path:
+    """Write a power-law demo graph as a plain .el edge list."""
+    g = power_law_graph(60_000, edge_factor=14, exponent=2.0, seed=77,
+                        symmetrize=True)
+    path = Path(tempfile.gettempdir()) / "repro_demo_graph.el"
+    save_edgelist(g, path)
+    print(f"(no input given: wrote a demo graph to {path})")
+    return path
+
+
+def main() -> None:
+    path = Path(sys.argv[1]) if len(sys.argv) > 1 else demo_file()
+    graph = load_edgelist(path, symmetrize=True)
+    print(f"Loaded {graph.name}: {graph.num_vertices:,} vertices, "
+          f"{graph.num_edges:,} edges")
+
+    print("\nAnalytics:")
+    comp = connected_components(graph)
+    print(f"  connected components: {len(np.unique(comp)):,}")
+    scores = pagerank(graph, max_iterations=15)
+    print(f"  top PageRank vertex:  {int(np.argmax(scores))} "
+          f"(score {scores.max():.5f})")
+    print(f"  triangles:            {triangle_count(graph):,}")
+
+    print("\nMemory-system comparison on PageRank "
+          "(scale-16 configuration):")
+    cfg = scaled_config(16)
+    trace = trace_pagerank(graph, iterations=2, max_accesses=450_000)
+    trace = trace.slice(max(0, len(trace) - 300_000), len(trace))
+    base = SingleCoreSystem(cfg, "baseline").run(trace)
+    prop = SingleCoreSystem(cfg, "sdc_lp").run(trace)
+    print(f"  baseline: IPC {base.ipc:.3f}  "
+          f"(LLC MPKI {base.mpki('llc'):.1f})")
+    print(f"  SDC+LP:   IPC {prop.ipc:.3f}  "
+          f"(LLC MPKI {prop.mpki('llc'):.1f})  "
+          f"speedup {100 * (base.cycles / prop.cycles - 1):+.1f}%")
+
+    print("\nOr pre-process instead (degree reordering):")
+    ordered = apply_order(graph, degree_sort_order(graph), "bydeg")
+    trace2 = trace_pagerank(ordered, iterations=2, max_accesses=450_000)
+    trace2 = trace2.slice(max(0, len(trace2) - 300_000), len(trace2))
+    reord = SingleCoreSystem(cfg, "baseline").run(trace2)
+    print(f"  reordered baseline: IPC {reord.ipc:.3f}  "
+          f"speedup {100 * (base.cycles / reord.cycles - 1):+.1f}% "
+          f"(after paying the preprocessing cost)")
+
+
+if __name__ == "__main__":
+    main()

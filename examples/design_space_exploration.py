@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Design-space exploration: sweep the SDC+LP knobs on one workload.
+
+Reproduces the spirit of the paper's §V-B on a single workload so it
+runs in under a minute: SDC capacity (Fig. 10), LP table size (Fig. 11)
+and the global threshold τ_glob (§V-B3), printing speedup-vs-knob
+curves.
+
+Run:  python examples/design_space_exploration.py
+"""
+
+import dataclasses
+
+from repro.config import scaled_config
+from repro.experiments.runner import run_variant, speedup
+from repro.experiments.workloads import workload_trace
+
+
+def bar(value: float, scale: float = 150.0) -> str:
+    return "#" * max(0, int(value * scale))
+
+
+def main() -> None:
+    cfg = scaled_config(16)
+    trace = workload_trace("cc.friendster", length=200_000)
+    base = run_variant(trace, "baseline", cfg)
+    print(f"Workload cc.friendster: baseline IPC {base.ipc:.3f}\n")
+
+    print("SDC capacity (ways, latency follow §V-B1):")
+    for mult, ways, lat in ((1, 2, 1), (2, 4, 3), (4, 8, 4)):
+        sdc = cfg.sdc.resized(cfg.sdc.size_bytes * mult, ways=ways,
+                              latency=lat)
+        stats = run_variant(trace, "sdc_lp",
+                            dataclasses.replace(cfg, sdc=sdc))
+        sp = speedup(base, stats)
+        print(f"  {sdc.size_bytes / 1024:5.2f} KiB, {lat} cyc: "
+              f"{100 * sp:+6.1f}%  {bar(sp)}")
+
+    print("\nLP entries (fully associative):")
+    for entries in (8, 16, 32, 64):
+        lp = dataclasses.replace(cfg.lp, entries=entries, ways=entries)
+        stats = run_variant(trace, "sdc_lp",
+                            dataclasses.replace(cfg, lp=lp))
+        sp = speedup(base, stats)
+        print(f"  {entries:3} entries: {100 * sp:+6.1f}%  {bar(sp)}")
+
+    print("\nGlobal threshold tau_glob:")
+    for tau in (0, 2, 4, 8, 16, 64, 256):
+        lp = dataclasses.replace(cfg.lp, tau_glob=tau)
+        stats = run_variant(trace, "sdc_lp",
+                            dataclasses.replace(cfg, lp=lp))
+        sp = speedup(base, stats)
+        frac = stats.lp.predicted_irregular / max(1, stats.lp.lookups)
+        print(f"  tau={tau:3}: {100 * sp:+6.1f}%  "
+              f"(SDC share {100 * frac:4.1f}%)  {bar(sp)}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Deep-dive: where do PageRank's memory accesses go, and why?
+
+Walks the full pipeline on one workload, exposing the intermediate
+artifacts the experiment harness usually hides:
+
+1. build the graph and run the *reference* PageRank for ground truth;
+2. generate the instrumented trace and break it down by data structure;
+3. profile the Baseline run per region (the Expert Programmer's input);
+4. characterize PC-local strides vs DRAM probability (the paper's
+   Fig. 3 analysis) on this workload;
+5. compare Baseline and SDC+LP per data structure.
+
+Run:  python examples/pagerank_cache_analysis.py
+"""
+
+import numpy as np
+
+from repro.config import scaled_config
+from repro.core.expert import classify_regions, profile_regions
+from repro.core.system import SingleCoreSystem
+from repro.experiments.figures import STRIDE_BUCKETS, pc_local_strides
+from repro.graphs.generators import kronecker_graph
+from repro.kernels import pagerank
+from repro.mem.hierarchy import DRAM
+from repro.trace.kernels import trace_pagerank
+
+
+def main() -> None:
+    print("== 1. Build graph and run reference PageRank")
+    graph = kronecker_graph(16, 12, seed=7)
+    scores = pagerank(graph, max_iterations=10)
+    top = np.argsort(scores)[-3:][::-1]
+    print(f"   kron15: {graph.num_vertices:,} vertices, "
+          f"{graph.num_edges:,} edges")
+    print(f"   top-ranked vertices: {list(top)} "
+          f"(scores {scores[top].round(6)})")
+
+    print("\n== 2. Instrumented trace, by data structure")
+    trace = trace_pagerank(graph, iterations=2, max_accesses=400_000)
+    trace = trace.slice(len(trace) - 300_000, len(trace))
+    space = trace.address_space
+    rids = space.classify_addresses(trace.accesses["addr"].astype(np.int64))
+    names = list(space.regions)
+    for rid, name in enumerate(names):
+        n = int((rids == rid).sum())
+        region = space.regions[name]
+        hint = "irregular" if region.irregular_hint else "regular"
+        print(f"   {name:20} {n:>8,} accesses "
+              f"({region.size / 1024:7.1f} KiB, {hint})")
+
+    cfg = scaled_config(16)
+    print(f"\n== 3. Baseline profile per region "
+          f"(LLC = {cfg.llc.size_bytes // 1024} KiB)")
+    base = SingleCoreSystem(cfg, "baseline").run(trace, record_levels=True)
+    profiles = profile_regions(trace, cfg, levels=base.levels)
+    for p in profiles:
+        print(f"   {p.name:20} DRAM fraction {100 * p.dram_fraction:5.1f}% "
+              f"({p.dram_accesses:,}/{p.accesses:,})")
+    averse = classify_regions(profiles)
+    print(f"   expert classification -> cache-averse regions: "
+          f"{[profiles[i].name for i in sorted(averse)]}")
+
+    print("\n== 4. Stride vs DRAM probability (paper Fig. 3 analysis)")
+    strides = pc_local_strides(trace)
+    is_dram = base.levels == DRAM
+    for (lo, hi), label in zip(
+            STRIDE_BUCKETS,
+            ("0", "1", "(1,10]", "(10,1e2]", "(1e2,1e3]", "(1e3,1e4]",
+             "(1e4,1e5]", "(1e5,1e6]", ">1e6")):
+        sel = (strides >= 0) & (strides >= lo)
+        if hi is not None:
+            sel &= strides <= hi
+        if sel.sum() > 50:
+            print(f"   stride {label:10} P(DRAM) = "
+                  f"{100 * is_dram[sel].mean():5.1f}%  "
+                  f"({int(sel.sum()):,} accesses)")
+
+    print("\n== 5. Baseline vs SDC+LP")
+    prop = SingleCoreSystem(cfg, "sdc_lp").run(trace)
+    print(f"   L2C MPKI {base.mpki('l2c'):6.1f} -> {prop.mpki('l2c'):6.1f}")
+    print(f"   LLC MPKI {base.mpki('llc'):6.1f} -> {prop.mpki('llc'):6.1f}")
+    print(f"   IPC      {base.ipc:6.3f} -> {prop.ipc:6.3f}  "
+          f"({100 * (base.cycles / prop.cycles - 1):+.1f}%)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one graph workload under Baseline and SDC+LP.
+
+Builds a scaled Kronecker graph, traces PageRank's pull loop, runs both
+designs on the scale-16 configuration, and prints the headline numbers
+the paper reports (MPKI per level, IPC, speedup).
+
+Run:  python examples/quickstart.py [kernel] [graph]
+      e.g. python examples/quickstart.py cc friendster
+"""
+
+import sys
+
+from repro import quick_compare
+
+
+def main() -> None:
+    kernel = sys.argv[1] if len(sys.argv) > 1 else "pr"
+    graph = sys.argv[2] if len(sys.argv) > 2 else "kron"
+    print(f"Workload: {kernel}.{graph} (medium tier, 200k-access window)")
+    print("Simulating Baseline and SDC+LP ...\n")
+
+    results = quick_compare(kernel, graph)
+    base, prop = results["baseline"], results["sdc_lp"]
+
+    header = f"{'':14}{'Baseline':>12}{'SDC+LP':>12}"
+    print(header)
+    print("-" * len(header))
+    rows = [
+        ("IPC", f"{base.ipc:.3f}", f"{prop.ipc:.3f}"),
+        ("cycles", f"{base.cycles:,.0f}", f"{prop.cycles:,.0f}"),
+        ("L1D MPKI", f"{base.mpki('l1d'):.1f}", f"{prop.mpki('l1d'):.1f}"),
+        ("SDC MPKI", "-", f"{prop.mpki('sdc'):.1f}"),
+        ("L2C MPKI", f"{base.mpki('l2c'):.1f}", f"{prop.mpki('l2c'):.1f}"),
+        ("LLC MPKI", f"{base.mpki('llc'):.1f}", f"{prop.mpki('llc'):.1f}"),
+        ("DRAM reads", f"{base.dram.reads:,}", f"{prop.dram.reads:,}"),
+    ]
+    for name, b, p in rows:
+        print(f"{name:14}{b:>12}{p:>12}")
+
+    speedup = base.cycles / prop.cycles - 1
+    print(f"\nSDC+LP speedup over Baseline: {100 * speedup:+.1f}%")
+    lp = prop.lp
+    print(f"LP routed {lp.predicted_irregular:,} of {lp.lookups:,} "
+          f"accesses ({100 * lp.predicted_irregular / lp.lookups:.1f}%) "
+          f"to the SDC.")
+
+
+if __name__ == "__main__":
+    main()

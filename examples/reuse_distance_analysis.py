@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Reuse-distance analysis: the analytical *why* behind cache-averseness.
+
+An access whose LRU reuse distance exceeds a cache's block capacity
+must miss there — so the per-region reuse profile predicts which data
+structures defeat the hierarchy before any simulation runs.  This
+example computes reuse-distance CDFs and the Mattson miss-ratio curve
+for one workload, marks the capacities of the simulated caches on it,
+and cross-checks the analytical prediction against the simulator.
+
+Run:  python examples/reuse_distance_analysis.py
+"""
+
+import numpy as np
+
+from repro.config import scaled_config
+from repro.core.system import SingleCoreSystem
+from repro.graphs.generators import kronecker_graph
+from repro.trace.analysis import (miss_ratio_curve, region_reuse_profile,
+                                  reuse_cdf, reuse_distances)
+from repro.trace.kernels import trace_pagerank
+
+
+def main() -> None:
+    graph = kronecker_graph(16, 10, seed=9)
+    trace = trace_pagerank(graph, iterations=1, max_accesses=250_000)
+    trace = trace.slice(len(trace) - 150_000, len(trace))
+    cfg = scaled_config(16)
+    blocks = trace.block_addrs()
+
+    print(f"Workload: PageRank on kron16 "
+          f"({graph.num_vertices:,} vertices), {len(trace):,} accesses\n")
+
+    print("Per-region reuse profile:")
+    profile = region_reuse_profile(trace)
+    for name, p in profile.items():
+        med = ("inf" if p["median_reuse"] == float("inf")
+               else f"{p['median_reuse']:.0f}")
+        print(f"  {name:20} footprint {p['footprint_blocks']:>8.0f} blocks"
+              f"   median reuse distance {med:>8}"
+              f"   cold {100 * p['cold_fraction']:.0f}%")
+
+    caps = {
+        "L1D": cfg.l1d.num_blocks,
+        "L2C": cfg.l2c.num_blocks,
+        "LLC": cfg.llc.num_blocks,
+    }
+    print("\nMiss-ratio curve (fully-assoc LRU, analytical):")
+    points = sorted(set(list(caps.values()) + [8, 64, 16384]))
+    mrc = miss_ratio_curve(blocks, points)
+    names = {v: k for k, v in caps.items()}
+    for cap, miss in zip(points, mrc):
+        label = f"  <- {names[cap]} capacity" if cap in names else ""
+        print(f"  capacity {cap:>7,} blocks: miss ratio "
+              f"{100 * miss:5.1f}%{label}")
+
+    d = reuse_distances(blocks)
+    cdf = reuse_cdf(d, [caps["L1D"], caps["L2C"], caps["LLC"]])
+    print("\nFraction of re-references within each cache's reach: "
+          f"L1D {100 * cdf[0]:.0f}%, L2C {100 * cdf[1]:.0f}%, "
+          f"LLC {100 * cdf[2]:.0f}%")
+
+    print("\nCross-check against the set-associative simulator:")
+    stats = SingleCoreSystem(cfg, "baseline").run(trace)
+    analytical_llc = mrc[points.index(caps["LLC"])]
+    simulated_llc = stats.llc.misses / max(1, len(trace))
+    print(f"  analytical FA-LRU miss ratio at LLC capacity: "
+          f"{100 * analytical_llc:5.1f}% of all accesses")
+    print(f"  simulated LLC misses:                         "
+          f"{100 * simulated_llc:5.1f}% of all accesses")
+    print("  (the simulator's set conflicts and prefetching move the "
+          "number, the regime matches)")
+
+
+if __name__ == "__main__":
+    main()

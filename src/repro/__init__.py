@@ -1,0 +1,48 @@
+"""repro — reproduction of *Practically Tackling Memory Bottlenecks of
+Graph-Processing Workloads* (Jamet et al., IPDPS 2024).
+
+Public API tour:
+
+* :mod:`repro.graphs` — CSR/CSC graphs, generators, the input suite.
+* :mod:`repro.kernels` — the six GAP kernels (reference implementations).
+* :mod:`repro.trace` — instrumented kernels emitting memory-access
+  traces, SimPoint-style sampling.
+* :mod:`repro.mem` — set-associative caches, replacement policies,
+  prefetchers, DRAM, the interval timing model.
+* :mod:`repro.core` — the paper's proposal (LP + SDC + SDCDir) and all
+  evaluated system variants, single- and multi-core.
+* :mod:`repro.experiments` — the 36 workloads and one entry point per
+  paper table/figure.
+
+Quickstart::
+
+    from repro import quick_compare
+    result = quick_compare("pr", "kron")
+    print(result)
+"""
+
+from repro.config import SystemConfig, paper_config, scaled_config
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "paper_config",
+    "scaled_config",
+    "quick_compare",
+    "__version__",
+]
+
+
+def quick_compare(kernel: str, graph: str, variants=("baseline", "sdc_lp"),
+                  trace_len: int = 200_000, tier: str = "medium"):
+    """Run one workload under several designs; returns {variant: stats}.
+
+    A convenience wrapper over the full experiment harness for
+    interactive use and the quickstart example.
+    """
+    from repro.experiments.runner import default_config, run_variant
+    from repro.experiments.workloads import workload_trace
+    trace = workload_trace(f"{kernel}.{graph}", tier=tier, length=trace_len)
+    cfg = default_config()
+    return {v: run_variant(trace, v, cfg) for v in variants}

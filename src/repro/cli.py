@@ -1,0 +1,189 @@
+"""Command-line entry point: regenerate any paper table or figure.
+
+Examples::
+
+    repro config                 # Table I system configuration
+    repro fig2                   # baseline MPKI (all 36 workloads)
+    repro fig7 --quick           # speedups on the 6-workload subset
+    repro fig14 --mixes 10       # multi-core weighted speedup
+    repro table4                 # hardware budget
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import figures, report
+from repro.experiments.workloads import DEFAULT_TRACE_LEN, WORKLOADS
+
+# A representative one-workload-per-kernel subset for quick runs.
+QUICK_WORKLOADS = ("pr.kron", "cc.friendster", "bfs.urand", "sssp.road",
+                   "bc.twitter", "tc.web")
+
+
+def _common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--quick", action="store_true",
+                        help="run the 6-workload quick subset")
+    parser.add_argument("--length", type=int, default=DEFAULT_TRACE_LEN,
+                        help="trace window length (accesses)")
+    parser.add_argument("--tier", default="medium",
+                        help="graph size tier (tiny/small/medium/large)")
+
+
+def _workloads(args):
+    return QUICK_WORKLOADS if args.quick else None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce the tables and figures of 'Practically "
+                    "Tackling Memory Bottlenecks of Graph-Processing "
+                    "Workloads' (IPDPS 2024)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name in ("fig2", "fig3", "fig7", "fig8", "fig9", "fig10", "fig11",
+                 "fig12", "tau", "fig13", "ablation", "replacement",
+                 "prefetchers", "preprocessing", "energy", "context"):
+        p = sub.add_parser(name)
+        _common(p)
+
+    prun = sub.add_parser(
+        "run", help="simulate one workload under one design variant")
+    prun.add_argument("workload", help="kernel.graph, e.g. pr.kron")
+    prun.add_argument("--variant", default="sdc_lp",
+                      help="baseline/sdc_lp/topt/distill/l1iso/llc2x/"
+                           "expert/victim/lp_bypass")
+    _common(prun)
+    p14 = sub.add_parser("fig14")
+    _common(p14)
+    p14.add_argument("--mixes", type=int, default=10)
+    sub.add_parser("config")
+    sub.add_parser("table2")
+    sub.add_parser("table3")
+    sub.add_parser("table4")
+    plist = sub.add_parser("workloads")
+
+    args = parser.parse_args(argv)
+    cmd = args.command
+
+    if cmd == "config":
+        from repro.experiments.runner import default_config
+        print(default_config().describe())
+        return 0
+    if cmd == "table2":
+        print(report.render_table2(figures.table2_kernels()))
+        return 0
+    if cmd == "table3":
+        print(report.render_table3(figures.table3_graphs()))
+        return 0
+    if cmd == "table4":
+        from repro.core.budget import table4, lp_fits_in_one_cycle
+        print("Table IV — hardware budget per core")
+        print(table4())
+        print(f"\nLP fits in one CPU cycle: {lp_fits_in_one_cycle()}")
+        return 0
+    if cmd == "workloads":
+        for wl in WORKLOADS:
+            print(wl.name)
+        return 0
+    if cmd == "run":
+        return _run_one(args)
+
+    kw = dict(tier=args.tier, length=args.length)
+    wls = _workloads(args)
+    if cmd == "fig2":
+        print(report.render_fig2(figures.fig2_mpki(wls, **kw)))
+    elif cmd == "fig3":
+        print(report.render_fig3(figures.fig3_stride_dram(**kw)))
+    elif cmd == "fig7":
+        print(report.render_fig7(figures.fig7_single_core(wls, **kw)))
+    elif cmd == "fig8":
+        print(report.render_mpki_compare(
+            figures.fig8_l2_llc_mpki(wls, **kw), ("l2c", "llc"),
+            "Fig. 8 — L2C/LLC MPKI, Baseline vs SDC+LP"))
+    elif cmd == "fig9":
+        print(report.render_mpki_compare(
+            figures.fig9_l1_sdc_mpki(wls, **kw), ("l1d", "sdc"),
+            "Fig. 9 — L1D/SDC MPKI, Baseline vs SDC+LP"))
+    elif cmd == "fig10":
+        print(report.render_fig10(figures.fig10_sdc_size(wls, **kw)))
+    elif cmd == "fig11":
+        print(report.render_sweep(figures.fig11_lp_entries(wls, **kw),
+                                  "entries"))
+    elif cmd == "fig12":
+        print(report.render_sweep(figures.fig12_lp_assoc(wls, **kw),
+                                  "ways"))
+    elif cmd == "tau":
+        print(report.render_tau_sweep(figures.tau_sweep(wls, **kw)))
+    elif cmd == "fig13":
+        print(report.render_fig13(figures.fig13_expert(wls, **kw)))
+    elif cmd == "ablation":
+        print(report.render_ablation(figures.ablation_study(wls, **kw)))
+    elif cmd == "replacement":
+        print(report.render_policy_study(
+            figures.replacement_study(wls, **kw)))
+    elif cmd == "prefetchers":
+        print(report.render_prefetcher_study(
+            figures.prefetcher_study(wls, **kw)))
+    elif cmd == "preprocessing":
+        print(report.render_preprocessing_study(
+            figures.preprocessing_study(length=args.length,
+                                        tier=args.tier)))
+    elif cmd == "energy":
+        print(report.render_energy_study(figures.energy_study(wls, **kw)))
+    elif cmd == "context":
+        print(report.render_context_switch_study(
+            figures.context_switch_study(wls, **kw)))
+    elif cmd == "fig14":
+        res = figures.fig14_multicore(num_mixes=args.mixes,
+                                      tier=args.tier,
+                                      length=args.length // 2)
+        print(report.render_fig14(res))
+    return 0
+
+
+def _run_one(args) -> int:
+    """`repro run <workload>`: full stats dump for one simulation."""
+    from repro.core.energy import energy_of, energy_per_kilo_instruction
+    from repro.experiments.runner import default_config, run_variant
+    from repro.experiments.workloads import workload_trace
+    from repro.mem.hierarchy import LEVEL_NAMES
+
+    trace = workload_trace(args.workload, tier=args.tier,
+                           length=args.length)
+    cfg = default_config()
+    stats = run_variant(trace, args.variant, cfg, record_levels=True)
+    print(f"{args.workload} under {args.variant} "
+          f"({len(trace):,} accesses, {stats.instructions:,} instr)")
+    print(f"  cycles {stats.cycles:,.0f}   IPC {stats.ipc:.3f}")
+    for cache in ("l1d", "sdc", "l2c", "llc"):
+        cs = getattr(stats, cache)
+        if cs is None:
+            continue
+        print(f"  {cache.upper():4} accesses {cs.accesses:>9,}  "
+              f"hit-rate {100 * cs.hit_rate:5.1f}%  "
+              f"MPKI {stats.mpki(cache):7.1f}")
+    print(f"  DRAM reads {stats.dram.reads:,} writes {stats.dram.writes:,} "
+          f"(row hits {stats.dram.row_hits:,})")
+    if stats.lp is not None:
+        lp = stats.lp
+        print(f"  LP: {lp.predicted_irregular:,}/{lp.lookups:,} "
+              f"({100 * lp.predicted_irregular / max(1, lp.lookups):.1f}%) "
+              f"routed to the SDC")
+    if stats.tlb is not None:
+        print(f"  TLB: {stats.tlb.walks:,} page walks "
+              f"({100 * stats.tlb.l1_miss_rate:.1f}% DTLB miss)")
+    import numpy as np
+    counts = np.bincount(stats.levels, minlength=6)
+    served = ", ".join(f"{LEVEL_NAMES[i]} {100 * c / len(trace):.1f}%"
+                       for i, c in enumerate(counts) if c)
+    print(f"  served by: {served}")
+    print(f"  energy: {energy_per_kilo_instruction(stats):.2f} uJ/kilo-"
+          f"instr (on-chip {energy_of(stats).on_chip:.3f} mJ)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,234 @@
+"""System configuration (paper Table I) and scaling support.
+
+The paper evaluates on a ChampSim model of an Intel Cascade Lake server
+core. :func:`paper_config` returns that exact configuration.  Because this
+reproduction runs scaled-down input graphs (see DESIGN.md, substitution
+#2), :func:`scaled_config` divides every *capacity* by a common factor
+while keeping associativities and latencies fixed, so that the ratio of
+workload footprint to cache capacity — the quantity that drives MPKI —
+matches the paper's regime.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+BLOCK_SIZE = 64
+"""Cache block size in bytes (fixed across the hierarchy, as in ChampSim)."""
+
+BLOCK_BITS = 6
+"""log2(BLOCK_SIZE)."""
+
+PHYS_ADDR_BITS = 48
+"""Physical address width assumed by the paper's Table IV accounting."""
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one set-associative cache."""
+
+    name: str
+    size_bytes: int
+    ways: int
+    latency: int          # access latency in core cycles
+    mshr_entries: int
+    replacement: str = "lru"
+    prefetcher: str | None = None
+    block_size: int = BLOCK_SIZE
+
+    @property
+    def num_blocks(self) -> int:
+        return self.size_bytes // self.block_size
+
+    @property
+    def num_sets(self) -> int:
+        sets = self.num_blocks // self.ways
+        if sets * self.ways * self.block_size != self.size_bytes:
+            raise ValueError(
+                f"{self.name}: size {self.size_bytes} not divisible into "
+                f"{self.ways}-way sets of {self.block_size}B blocks"
+            )
+        return sets
+
+    def resized(self, size_bytes: int, ways: int | None = None,
+                latency: int | None = None) -> "CacheConfig":
+        """Return a copy with a new capacity (and optionally geometry)."""
+        return dataclasses.replace(
+            self,
+            size_bytes=size_bytes,
+            ways=self.ways if ways is None else ways,
+            latency=self.latency if latency is None else latency,
+        )
+
+
+@dataclass(frozen=True)
+class LPConfig:
+    """Large Predictor table parameters (paper §III-B, Table I)."""
+
+    entries: int = 32
+    ways: int = 8
+    tau_glob: int = 8
+    # Field widths used for Table IV budget accounting.
+    tag_bits: int = 65
+    addr_bits: int = 58
+    stride_bits: int = 14
+
+    @property
+    def num_sets(self) -> int:
+        if self.ways <= 0 or self.entries % self.ways:
+            raise ValueError(f"LP: {self.entries} entries not divisible by "
+                             f"{self.ways} ways")
+        return self.entries // self.ways
+
+    @property
+    def storage_bits(self) -> int:
+        per_entry = self.tag_bits + self.addr_bits + self.stride_bits + 1
+        return per_entry * self.entries
+
+
+@dataclass(frozen=True)
+class SDCDirConfig:
+    """SDC directory extension (paper §III-C, Table I)."""
+
+    entries_per_core: int = 128
+    ways: int = 8
+    latency: int = 1
+    tag_bits: int = 42
+    state_bits: int = 6
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """DDR4 main-memory timing (paper Table I).
+
+    The paper gives tRP = tRCD = tCAS = 24 DRAM-bus cycles at an I/O bus
+    frequency of 1466.5 MHz against a 2.166 GHz core.  We convert the
+    access components into core cycles once so the simulator works in a
+    single clock domain.
+    """
+
+    trp: int = 24
+    trcd: int = 24
+    tcas: int = 24
+    io_bus_mhz: float = 1466.5
+    core_ghz: float = 2.166
+    banks: int = 8
+    rows_per_bank: int = 65536
+    row_size_bytes: int = 8192
+    channels: int = 1
+
+    @property
+    def cycles_per_bus_cycle(self) -> float:
+        return self.core_ghz * 1000.0 / self.io_bus_mhz
+
+    def _to_core(self, bus_cycles: int) -> int:
+        return max(1, round(bus_cycles * self.cycles_per_bus_cycle))
+
+    @property
+    def row_hit_latency(self) -> int:
+        """Core cycles for a row-buffer hit (CAS only + transfer)."""
+        return self._to_core(self.tcas) + 4
+
+    @property
+    def row_miss_latency(self) -> int:
+        """Core cycles for a closed-row access (RCD + CAS + transfer)."""
+        return self._to_core(self.trcd + self.tcas) + 4
+
+    @property
+    def row_conflict_latency(self) -> int:
+        """Core cycles when the open row must be precharged first."""
+        return self._to_core(self.trp + self.trcd + self.tcas) + 4
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order core model parameters (paper Table I)."""
+
+    width: int = 4
+    rob_entries: int = 224
+    frequency_ghz: float = 2.166
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete single-core system configuration."""
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(
+        "L1D", 32 * 1024, 8, 4, 10, "lru", "next_line"))
+    l2c: CacheConfig = field(default_factory=lambda: CacheConfig(
+        "L2C", 1024 * 1024, 16, 10, 16, "lru", "spp"))
+    llc: CacheConfig = field(default_factory=lambda: CacheConfig(
+        "LLC", 1408 * 1024, 11, 56, 64, "lru", None))
+    sdc: CacheConfig = field(default_factory=lambda: CacheConfig(
+        "SDC", 8 * 1024, 2, 1, 10, "lru", "next_line"))
+    lp: LPConfig = field(default_factory=LPConfig)
+    sdcdir: SDCDirConfig = field(default_factory=SDCDirConfig)
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    num_cores: int = 1
+    # Extra cycles for the coherence/directory check an SDC miss performs
+    # before going to DRAM (paper §III-A: "a lightweight coherence
+    # message is sent to the cache directory").
+    sdc_miss_dir_latency: int = 1
+
+    def describe(self) -> str:
+        """Human-readable configuration dump (cf. paper Table I)."""
+        rows = [
+            ("CPU", f"{self.core.frequency_ghz} GHz, {self.core.width}-wide "
+                    f"OoO, {self.core.rob_entries}-entry ROB"),
+        ]
+        for c in (self.l1d, self.sdc, self.l2c, self.llc):
+            rows.append((c.name, f"{c.size_bytes // 1024} KiB, {c.ways}-way, "
+                                 f"{c.latency}-cycle latency, "
+                                 f"{c.mshr_entries}-entry MSHR, "
+                                 f"{c.replacement} replacement"
+                                 + (f", {c.prefetcher} prefetcher"
+                                    if c.prefetcher else "")))
+        rows.append(("LP", f"{self.lp.entries} entries, {self.lp.ways}-way, "
+                           f"tau_glob={self.lp.tau_glob}, "
+                           f"{self.lp.storage_bits / 8192:.2f} KiB"))
+        rows.append(("SDCDir", f"{self.sdcdir.entries_per_core} entries/core, "
+                               f"{self.sdcdir.ways}-way"))
+        rows.append(("DRAM", f"row hit {self.dram.row_hit_latency} cyc, "
+                             f"row miss {self.dram.row_miss_latency} cyc, "
+                             f"row conflict {self.dram.row_conflict_latency} "
+                             f"cyc"))
+        width = max(len(r[0]) for r in rows)
+        return "\n".join(f"{k:<{width}}  {v}" for k, v in rows)
+
+
+def paper_config(num_cores: int = 1) -> SystemConfig:
+    """The exact Table I configuration."""
+    return SystemConfig(num_cores=num_cores)
+
+
+def scaled_config(scale: int = 8, num_cores: int = 1) -> SystemConfig:
+    """Table I with all capacities divided by ``scale``.
+
+    Associativities and latencies stay fixed; only the number of sets
+    shrinks.  The LP and SDCDir are index structures whose size does not
+    depend on the data footprint, so they are left unscaled.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    base = paper_config(num_cores)
+
+    def shrink(c: CacheConfig) -> CacheConfig:
+        size = c.size_bytes // scale
+        ways = c.ways
+        # Halve associativity until one set fits; floor at 1 way x 1 block.
+        while ways > 1 and size < ways * c.block_size:
+            ways //= 2
+        size = max(size, ways * c.block_size)
+        # Round down to a multiple of ways*block_size so sets are integral.
+        size -= size % (ways * c.block_size)
+        return c.resized(size, ways=ways)
+
+    return dataclasses.replace(
+        base,
+        l1d=shrink(base.l1d),
+        l2c=shrink(base.l2c),
+        llc=shrink(base.llc),
+        sdc=shrink(base.sdc),
+    )

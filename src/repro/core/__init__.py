@@ -1,0 +1,30 @@
+"""The paper's contribution: LP predictor + SDC + SDCDir + systems.
+
+``SingleCoreSystem`` runs one trace under any evaluated design variant
+(Baseline, SDC+LP, T-OPT, Distill, L1D-40KB-ISO, 2xLLC, Expert
+Programmer); ``MultiCoreSystem`` runs 4-thread mixes with a shared LLC,
+a MESI-style directory and per-core SDCDir extensions.
+"""
+
+from repro.core.budget import hardware_budget, table4
+from repro.core.energy import energy_of, energy_per_kilo_instruction
+from repro.core.expert import expert_regions_best, expert_regions_for
+from repro.core.lp import LargePredictor
+from repro.core.multicore import MultiCoreSystem
+from repro.core.sdcdir import SDCDirectory
+from repro.core.system import SingleCoreSystem, SystemStats, VARIANTS
+
+__all__ = [
+    "LargePredictor",
+    "SDCDirectory",
+    "SingleCoreSystem",
+    "MultiCoreSystem",
+    "SystemStats",
+    "VARIANTS",
+    "hardware_budget",
+    "table4",
+    "energy_of",
+    "energy_per_kilo_instruction",
+    "expert_regions_for",
+    "expert_regions_best",
+]

@@ -1,0 +1,91 @@
+"""Hardware budget accounting — paper Table IV and §V-E.
+
+All numbers derive from first principles given the Table I geometries
+and 48-bit physical addresses; the CACTI-derived access energies and
+latency the paper reports are carried as constants for the §V-E text.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import (BLOCK_BITS, BLOCK_SIZE, PHYS_ADDR_BITS,
+                          SystemConfig)
+
+
+@dataclass(frozen=True)
+class BudgetRow:
+    name: str
+    entries: int
+    bits_per_entry: int
+    breakdown: str
+
+    @property
+    def total_bits(self) -> int:
+        return self.entries * self.bits_per_entry
+
+    @property
+    def total_kb(self) -> float:
+        return self.total_bits / 8192.0
+
+
+# CACTI 22 nm figures quoted in §V-E.
+LP_ACCESS_TIME_NS = 0.24
+LP_LEAKAGE_MW = 10.0
+LP_READ_NJ, LP_WRITE_NJ = 0.010, 0.015
+SDCDIR_READ_NJ, SDCDIR_WRITE_NJ = 0.014, 0.019
+SDC_READ_NJ, SDC_WRITE_NJ = 0.026, 0.034
+
+
+def hardware_budget(config: SystemConfig | None = None) -> list[BudgetRow]:
+    """Per-core storage of SDC, LP and SDCDir (Table IV)."""
+    cfg = config or SystemConfig()
+
+    # SDC: data + tag + valid + dirty per block.  The paper's Table IV
+    # stores the full block address as the tag (48 - 6 = 42 bits),
+    # without subtracting set-index bits.
+    sdc_blocks = cfg.sdc.num_blocks
+    sdc_tag = PHYS_ADDR_BITS - BLOCK_BITS
+    sdc_bits = BLOCK_SIZE * 8 + sdc_tag + 1 + 1
+    rows = [BudgetRow("SDC", sdc_blocks, sdc_bits,
+                      f"{BLOCK_SIZE * 8} data + {sdc_tag} tag + 1 valid "
+                      f"+ 1 dirty")]
+
+    # LP: tag + address + stride + valid (field widths from LPConfig,
+    # matching Table IV's 65 + 58 + 14 + 1).
+    lp = cfg.lp
+    lp_bits = lp.tag_bits + lp.addr_bits + lp.stride_bits + 1
+    rows.append(BudgetRow("LP", lp.entries, lp_bits,
+                          f"{lp.tag_bits} tag + {lp.addr_bits} address + "
+                          f"{lp.stride_bits} stride + 1 valid"))
+
+    # SDCDir: tag + state + one sharer bit per core.
+    sd = cfg.sdcdir
+    sd_bits = sd.tag_bits + sd.state_bits + max(1, cfg.num_cores)
+    rows.append(BudgetRow("SDCDir", sd.entries_per_core, sd_bits,
+                          f"{sd.tag_bits} tag + {sd.state_bits} state + "
+                          f"{max(1, cfg.num_cores)} sharer per core"))
+    return rows
+
+
+def total_budget_kb(config: SystemConfig | None = None) -> float:
+    return sum(r.total_kb for r in hardware_budget(config))
+
+
+def table4(config: SystemConfig | None = None) -> str:
+    """Render Table IV as text."""
+    rows = hardware_budget(config)
+    lines = [f"{'':8} {'Entries':>8} {'Bits per entry':<42} {'Total KB':>9}"]
+    for r in rows:
+        lines.append(f"{r.name:8} {r.entries:>8} {r.breakdown:<42} "
+                     f"{r.total_kb:>9.2f}")
+    lines.append(f"{'Total':8} {'':8} {'':42} "
+                 f"{sum(r.total_kb for r in rows):>9.2f}")
+    return "\n".join(lines)
+
+
+def lp_fits_in_one_cycle(config: SystemConfig | None = None) -> bool:
+    """§V-E: LP access time vs the core cycle time."""
+    cfg = config or SystemConfig()
+    cycle_ns = 1.0 / cfg.core.frequency_ghz
+    return LP_ACCESS_TIME_NS <= cycle_ns

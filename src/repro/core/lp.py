@@ -1,0 +1,99 @@
+"""The Large Predictor (LP) — paper §III-B, Figures 4 and 5.
+
+A small PC-indexed, set-associative prediction table.  Each entry holds
+``(tag, addr, s_acc, valid)``:
+
+* ``tag``   — ``PC >> log2(#sets)``;
+* ``addr``  — block address of the previous access by this PC;
+* ``s_acc`` — running stride accumulator: on every access the absolute
+  block-stride ``s = |v@ - addr|`` is added and the sum right-shifted by
+  one (an exponential moving average with α = 1/2);
+* ``valid``.
+
+Prediction (Fig. 4): on a table hit the access is *irregular* (routed to
+the SDC) when ``s_acc >= tau_glob``; on a miss it is regular and the
+LRU victim entry is (re)initialized (§III-B3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import LPConfig
+
+
+@dataclass
+class LPStats:
+    lookups: int = 0
+    table_hits: int = 0
+    table_misses: int = 0
+    predicted_irregular: int = 0
+    predicted_regular: int = 0
+
+
+class LargePredictor:
+    """PC-indexed stride-accumulator predictor."""
+
+    def __init__(self, config: LPConfig | None = None):
+        self.config = config or LPConfig()
+        self.num_sets = self.config.num_sets
+        self.ways = self.config.ways
+        self.tau = self.config.tau_glob
+        self._set_bits = max(0, self.num_sets.bit_length() - 1)
+        if 1 << self._set_bits != self.num_sets:
+            raise ValueError("LP set count must be a power of two")
+        # The paper writes "set index = PC mod #sets"; any real indexing
+        # drops the instruction-alignment bits first (they are constant
+        # zero for 4-byte-aligned PCs and would leave 3 of 4 sets
+        # unused), so we index with PC >> 2.
+        self._align_bits = 2
+        self._s_acc_max = (1 << self.config.stride_bits) - 1
+        # Per set: dict tag -> [addr, s_acc, lru_stamp]
+        self.sets: list[dict[int, list[int]]] = [dict()
+                                                 for _ in range(self.num_sets)]
+        self._clock = 0
+        self.stats = LPStats()
+
+    def predict_and_update(self, pc: int, block_addr: int) -> bool:
+        """One combined LP consult (Fig. 4) + update (Fig. 5).
+
+        Returns True when the access is classified irregular (→ SDC).
+        """
+        st = self.stats
+        st.lookups += 1
+        idx = pc >> self._align_bits
+        set_idx = idx & (self.num_sets - 1) if self.num_sets > 1 else 0
+        tag = idx >> self._set_bits
+        lines = self.sets[set_idx]
+        self._clock += 1
+        entry = lines.get(tag)
+        if entry is not None:
+            st.table_hits += 1
+            irregular = entry[1] >= self.tau
+            # Update: accumulate |stride| then right-shift (Fig. 5 step 4).
+            stride = block_addr - entry[0]
+            if stride < 0:
+                stride = -stride
+            s_acc = (entry[1] + stride) >> 1
+            entry[1] = s_acc if s_acc <= self._s_acc_max else self._s_acc_max
+            entry[0] = block_addr
+            entry[2] = self._clock
+        else:
+            st.table_misses += 1
+            irregular = False
+            if len(lines) >= self.ways:
+                victim = min(lines, key=lambda t: lines[t][2])
+                del lines[victim]
+            lines[tag] = [block_addr, 0, self._clock]
+        if irregular:
+            st.predicted_irregular += 1
+        else:
+            st.predicted_regular += 1
+        return irregular
+
+    def peek(self, pc: int) -> tuple[int, int] | None:
+        """Read (addr, s_acc) for a PC without updating (testing aid)."""
+        idx = pc >> self._align_bits
+        set_idx = idx & (self.num_sets - 1) if self.num_sets > 1 else 0
+        entry = self.sets[set_idx].get(idx >> self._set_bits)
+        return None if entry is None else (entry[0], entry[1])

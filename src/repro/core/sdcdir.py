@@ -1,0 +1,109 @@
+"""SDCDir — the cache-directory extension tracking SDC contents (§III-C).
+
+Every block resident in any SDC has an SDCDir entry holding its tag,
+coherence state and a sharer bit-vector (Fig. 6).  The structure is
+set-associative and capacity-limited: when an SDCDir entry is evicted,
+all SDC copies of that block are invalidated (written back if dirty),
+so SDC contents are always a subset of SDCDir contents — the invariant
+the coherence tests assert.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import SDCDirConfig
+
+
+@dataclass
+class SDCDirStats:
+    lookups: int = 0
+    hits: int = 0
+    inserts: int = 0
+    evictions: int = 0
+
+
+class SDCDirectory:
+    """Set-associative directory over SDC-resident blocks."""
+
+    def __init__(self, config: SDCDirConfig | None = None,
+                 num_cores: int = 1):
+        self.config = config or SDCDirConfig()
+        self.num_cores = num_cores
+        self.entries = self.config.entries_per_core * num_cores
+        self.ways = self.config.ways
+        self.num_sets = max(1, self.entries // self.ways)
+        self.latency = self.config.latency
+        # Per set: dict block -> [sharer_bits, dirty_core, lru]
+        # dirty_core is -1 when clean, else the owning core id.
+        self.sets: list[dict[int, list[int]]] = [dict()
+                                                 for _ in range(self.num_sets)]
+        self._clock = 0
+        self.stats = SDCDirStats()
+
+    def _lines(self, block: int) -> dict[int, list[int]]:
+        return self.sets[block % self.num_sets]
+
+    def lookup(self, block: int) -> list[int] | None:
+        """Probe without allocation; returns the entry or None."""
+        self.stats.lookups += 1
+        entry = self._lines(block).get(block)
+        if entry is not None:
+            self.stats.hits += 1
+            self._clock += 1
+            entry[2] = self._clock
+        return entry
+
+    def sharers(self, block: int) -> int:
+        entry = self._lines(block).get(block)
+        return entry[0] if entry is not None else 0
+
+    def insert(self, block: int, core: int, dirty: bool
+               ) -> list[int] | None:
+        """Register a block entering core's SDC.
+
+        Returns ``[evicted_block, sharer_bits, dirty_core]`` when a
+        victim entry had to be displaced (its SDC copies must be
+        invalidated by the caller), else None.
+        """
+        lines = self._lines(block)
+        self._clock += 1
+        entry = lines.get(block)
+        if entry is not None:
+            entry[0] |= 1 << core
+            if dirty:
+                entry[1] = core
+            entry[2] = self._clock
+            return None
+        self.stats.inserts += 1
+        displaced = None
+        if len(lines) >= self.ways:
+            victim = min(lines, key=lambda b: lines[b][2])
+            v = lines.pop(victim)
+            self.stats.evictions += 1
+            displaced = [victim, v[0], v[1]]
+        lines[block] = [1 << core, core if dirty else -1, self._clock]
+        return displaced
+
+    def remove_sharer(self, block: int, core: int) -> None:
+        lines = self._lines(block)
+        entry = lines.get(block)
+        if entry is None:
+            return
+        entry[0] &= ~(1 << core)
+        if entry[1] == core:
+            entry[1] = -1
+        if entry[0] == 0:
+            del lines[block]
+
+    def drop(self, block: int) -> None:
+        self._lines(block).pop(block, None)
+
+    def mark_dirty(self, block: int, core: int) -> None:
+        entry = self._lines(block).get(block)
+        if entry is not None:
+            entry[1] = core
+
+    def tracked_blocks(self):
+        for lines in self.sets:
+            yield from lines

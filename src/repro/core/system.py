@@ -1,0 +1,577 @@
+"""Single-core system: routes a trace through one design variant.
+
+Variants (paper §IV-E):
+
+* ``baseline``  — conventional L1D/L2C/LLC hierarchy (Table I).
+* ``sdc_lp``    — the proposal: LP routes irregular accesses to the SDC,
+  whose misses bypass L2C/LLC straight to DRAM (§III).
+* ``topt``      — T-OPT: trace-exact Belady replacement at the LLC for
+  irregular-region lines (DESIGN.md substitution #4).
+* ``distill``   — Distill Cache LLC (LOC + WOC).
+* ``l1iso``     — L1D enlarged to 40 KiB / 10-way (iso-storage with SDC).
+* ``llc2x``     — LLC with doubled set count.
+* ``expert``    — Expert Programmer: per-data-structure routing to the
+  SDC from profiled DRAM fractions (no LP).
+
+Ablations beyond the paper's comparison set:
+
+* ``victim``    — L1D victim cache (Jouppi [27]) holding L1 evictions,
+  iso-storage with the SDC; probes on L1 misses, swap on hit.
+* ``lp_bypass`` — LP routing *without* the SDC: irregular accesses skip
+  the L2C/LLC lookups and go straight to DRAM but get no side storage
+  (isolates the bypass benefit from the SDC's caching benefit).
+
+Single-valid-copy coherence between the SDC and the hierarchy is
+enforced by the SDCDir exactly as §III-C describes: a block entering
+the SDC is extracted from the hierarchy and vice versa.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import BLOCK_BITS, SystemConfig
+from repro.core.lp import LargePredictor, LPStats
+from repro.core.sdcdir import SDCDirectory
+from repro.mem.cache import CacheStats, SetAssocCache
+from repro.mem.distill import DistillCache
+from repro.mem.dram import DRAMStats
+from repro.mem.hierarchy import (DRAM, L1D, L2C, LLC, SDC_LEVEL,
+                                 MemoryHierarchy)
+from repro.mem.replacement import BeladyOPT
+from repro.mem.timing import CoreTimer
+from repro.mem.tlb import TLBHierarchy, TLBStats
+from repro.trace.record import Trace
+
+VARIANTS = ("baseline", "sdc_lp", "topt", "distill", "l1iso", "llc2x",
+            "expert", "victim", "lp_bypass")
+
+NEVER = BeladyOPT.NEVER
+
+
+@dataclass
+class SystemStats:
+    """Aggregate results of one simulation run."""
+
+    variant: str
+    instructions: int
+    cycles: float
+    l1d: CacheStats
+    l2c: CacheStats
+    llc: CacheStats
+    sdc: CacheStats | None
+    dram: DRAMStats
+    lp: LPStats | None
+    levels: np.ndarray | None = None     # per-access serving level codes
+    tlb: TLBStats | None = None
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    def mpki(self, cache: str) -> float:
+        stats = getattr(self, cache)
+        if stats is None:
+            return 0.0
+        return stats.mpki(self.instructions)
+
+    @property
+    def l1_family_mpki(self) -> float:
+        """Combined first-level MPKI: L1D plus SDC (Fig. 9's right bars)."""
+        m = self.l1d.misses + (self.sdc.misses if self.sdc else 0)
+        return 1000.0 * m / self.instructions if self.instructions else 0.0
+
+    def as_dict(self) -> dict:
+        """Flat JSON-friendly summary (no per-access arrays)."""
+        out = {
+            "variant": self.variant,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "ipc": self.ipc,
+            "dram_reads": self.dram.reads,
+            "dram_writes": self.dram.writes,
+        }
+        for cache in ("l1d", "l2c", "llc", "sdc"):
+            cs = getattr(self, cache)
+            if cs is None:
+                continue
+            out[f"{cache}_accesses"] = cs.accesses
+            out[f"{cache}_misses"] = cs.misses
+            out[f"{cache}_mpki"] = self.mpki(cache)
+        if self.lp is not None:
+            out["lp_irregular"] = self.lp.predicted_irregular
+            out["lp_lookups"] = self.lp.lookups
+        if self.tlb is not None:
+            out["tlb_walks"] = self.tlb.walks
+        return out
+
+
+def variant_config(config: SystemConfig, variant: str) -> SystemConfig:
+    """Apply a variant's structural changes to the base configuration."""
+    if variant == "l1iso":
+        # +2 ways: 32 KiB 8-way -> 40 KiB 10-way (paper: +8 KiB, the SDC
+        # budget, as extra associativity).
+        l1 = config.l1d
+        return dataclasses.replace(config, l1d=l1.resized(
+            l1.size_bytes * 10 // 8, ways=l1.ways + 2))
+    if variant == "llc2x":
+        llc = config.llc
+        return dataclasses.replace(config, llc=llc.resized(
+            llc.size_bytes * 2))
+    return config
+
+
+def irregular_access_mask(trace: Trace) -> np.ndarray:
+    """Boolean mask of accesses falling in irregular-annotated regions."""
+    space = trace.address_space
+    rids = space.classify_addresses(trace.accesses["addr"].astype(np.int64))
+    names = list(space.regions)
+    irr_ids = [i for i, name in enumerate(names)
+               if space.regions[name].irregular_hint]
+    return np.isin(rids, irr_ids)
+
+
+def next_use_indices(blocks: np.ndarray) -> np.ndarray:
+    """For each access, the index of the next access to the same block
+    (``NEVER`` when none) — the oracle feed for Belady/T-OPT."""
+    n = len(blocks)
+    order = np.lexsort((np.arange(n), blocks))
+    sb = blocks[order]
+    nxt = np.full(n, NEVER, dtype=np.int64)
+    same = sb[1:] == sb[:-1]
+    nxt[order[:-1][same]] = order[1:][same]
+    return nxt
+
+
+class SingleCoreSystem:
+    """One core, one trace, one design variant."""
+
+    def __init__(self, config: SystemConfig | None = None,
+                 variant: str = "baseline",
+                 expert_regions: set[int] | None = None,
+                 enable_prefetch: bool = True,
+                 enable_tlb: bool = True):
+        if variant not in VARIANTS:
+            raise ValueError(f"unknown variant {variant!r}; "
+                             f"choose from {VARIANTS}")
+        self.variant = variant
+        base = config or SystemConfig()
+        self.config = variant_config(base, variant)
+        self.expert_regions = expert_regions or set()
+        if variant == "expert" and expert_regions is None:
+            raise ValueError("expert variant needs expert_regions "
+                             "(see repro.core.expert.classify_regions)")
+
+        llc_policy = None
+        llc = None
+        if variant == "topt":
+            llc_policy = BeladyOPT(irregular_only=True)
+        elif variant == "distill":
+            llc = DistillCache(self.config.llc)
+        self.hierarchy = MemoryHierarchy(self.config, llc_policy=llc_policy,
+                                         llc=llc,
+                                         enable_prefetch=enable_prefetch)
+        self.tlb = TLBHierarchy() if enable_tlb else None
+
+        self.has_sdc = variant in ("sdc_lp", "expert")
+        self.sdc: SetAssocCache | None = None
+        self.lp: LargePredictor | None = None
+        self.sdcdir: SDCDirectory | None = None
+        if self.has_sdc:
+            self.sdc = SetAssocCache(self.config.sdc)
+            self.sdcdir = SDCDirectory(self.config.sdcdir, num_cores=1)
+            if variant == "sdc_lp":
+                self.lp = LargePredictor(self.config.lp)
+        elif variant == "lp_bypass":
+            self.lp = LargePredictor(self.config.lp)
+
+        self.victim: SetAssocCache | None = None
+        if variant == "victim":
+            # Fully-associative, iso-storage with the SDC, 1-cycle probe.
+            vc_blocks = max(1, self.config.sdc.num_blocks)
+            self.victim = SetAssocCache(dataclasses.replace(
+                self.config.sdc, name="VC", ways=vc_blocks,
+                size_bytes=vc_blocks * self.config.sdc.block_size,
+                prefetcher=None))
+
+    # -- SDC plumbing -------------------------------------------------------
+    def _sdc_fill(self, block: int, dirty: bool) -> None:
+        """Install a block in the SDC, maintaining the SDCDir subset
+        invariant and single-valid-copy."""
+        sdc, sdcdir = self.sdc, self.sdcdir
+        displaced = sdcdir.insert(block, 0, dirty)
+        if displaced is not None:
+            # SDCDir eviction invalidates the SDC copy (§III-C).
+            was, was_dirty = sdc.invalidate(displaced[0])
+            if was and was_dirty:
+                self.hierarchy.dram.write(displaced[0])
+        evicted = sdc.fill(block, dirty=dirty)
+        if evicted is not None:
+            ev_block, ev_dirty = evicted
+            sdcdir.remove_sharer(ev_block, 0)
+            if ev_dirty:
+                self.hierarchy.dram.write(ev_block)
+
+    def _sdc_prefetch(self, block: int) -> None:
+        """Next-line prefetch into the SDC (Table I; disabled when the
+        SDC prefetcher config is None), avoiding duplicates of blocks
+        live in the hierarchy."""
+        sdc = self.sdc
+        if self.config.sdc.prefetcher is None:
+            return
+        if sdc.contains(block) or self.hierarchy.contains(block):
+            return
+        displaced = self.sdcdir.insert(block, 0, False)
+        if displaced is not None:
+            was, was_dirty = sdc.invalidate(displaced[0])
+            if was and was_dirty:
+                self.hierarchy.dram.write(displaced[0])
+        evicted = sdc.fill(block, prefetch=True)
+        if evicted is not None:
+            ev_block, ev_dirty = evicted
+            self.sdcdir.remove_sharer(ev_block, 0)
+            if ev_dirty:
+                self.hierarchy.dram.write(ev_block)
+
+    def _access_via_sdc(self, block: int, write: bool) -> tuple[int, int]:
+        """Irregular path: SDC, then directory + DRAM (bypassing L2C/LLC).
+
+        Coherence follows §III-C: clean blocks may be duplicated between
+        the SDC and the hierarchy; a write claims the single valid copy
+        by invalidating the others.  Returns (level_code, latency).
+        """
+        sdc = self.sdc
+        h = self.hierarchy
+        latency = sdc.latency
+        if sdc.access(block, write):
+            if write:
+                self.sdcdir.mark_dirty(block, 0)
+                # Clean duplicates in the hierarchy become stale.
+                h.extract(block)
+            # Next-line prefetch fires on SDC demand accesses.
+            self._sdc_prefetch(block + 1)
+            return SDC_LEVEL, latency
+        # Miss: lightweight coherence message to the directory (§III-A).
+        latency += self.config.sdc_miss_dir_latency
+        self.sdcdir.lookup(block)
+        if write:
+            present, probe_lat = h.extract(block)
+            if present:
+                latency += probe_lat
+                self._sdc_fill(block, dirty=True)
+                self._sdc_prefetch(block + 1)
+                return L2C, latency
+        else:
+            served_lat = self._probe_hierarchy_clean(block)
+            if served_lat is not None:
+                # Served by the hierarchy; the SDC takes a clean copy
+                # while the (now clean) hierarchy copy stays valid.
+                latency += served_lat
+                self._sdc_fill(block, dirty=False)
+                self._sdc_prefetch(block + 1)
+                return L2C, latency
+        latency += h.dram.read(block)
+        self._sdc_fill(block, dirty=write)
+        self._sdc_prefetch(block + 1)
+        return DRAM, latency
+
+    def _probe_hierarchy_clean(self, block: int) -> int | None:
+        """Non-destructive read probe of L1D/L2C/LLC: returns the probe
+        latency when a copy exists (writing a dirty copy back so both
+        copies are clean), else None."""
+        h = self.hierarchy
+        for cache in (h.l1d, h.l2c, h.llc):
+            if cache.contains(block):
+                if cache.clear_dirty(block):
+                    h.dram.write(block)
+                return cache.latency
+        return None
+
+    def _access_regular_with_sdc(self, block: int, write: bool, aux,
+                                 pc: int = 0) -> tuple[int, int]:
+        """Regular path when an SDC exists: the SDCDir is probed in
+        parallel with the L2C on an L1D miss; an SDC-resident block is
+        transferred back into the L1D."""
+        h = self.hierarchy
+        latency = h.l1d.latency
+        l1_hit = h.l1d.access(block, write)
+        if h.l1_prefetcher is not None:
+            candidates = (h._l1_pf_pc(pc, block, l1_hit)
+                          if h._l1_pf_pc is not None
+                          else h.l1_prefetcher.on_access(block, l1_hit))
+            for pf in candidates:
+                if not h.l1d.contains(pf) and not self.sdc.contains(pf):
+                    h._fill_l1(pf, prefetch=True)
+        if l1_hit:
+            return L1D, latency
+        if self.sdc.contains(block):
+            # Parallel SDCDir hit: serve from the SDC.  A read leaves a
+            # clean duplicate in the SDC (§III-C allows shared clean
+            # copies); a write claims exclusivity.
+            latency += max(h.l2c.latency, self.sdc.latency +
+                           self.sdcdir.latency)
+            if write:
+                self.sdc.invalidate(block)
+                self.sdcdir.remove_sharer(block, 0)
+                h._fill_l1(block, dirty=True)
+            else:
+                if self.sdc.clear_dirty(block):
+                    h.dram.write(block)
+                h._fill_l1(block, dirty=False)
+            return SDC_LEVEL, latency
+
+        # Continue the conventional walk below the L1D.
+        latency += h.l2c.latency
+        l2_hit = h.l2c.access(block, False)
+        if h.l2_prefetcher is not None:
+            for pf in h.l2_prefetcher.on_access(block, l2_hit):
+                if not h.l2c.contains(pf) and not self.sdc.contains(pf):
+                    h._fill_l2(pf, prefetch=True)
+        if l2_hit:
+            h._fill_l1(block, dirty=write)
+            return L2C, latency
+        latency += h.llc.latency
+        if h.llc.access(block, False, aux=aux):
+            h._fill_l2(block)
+            h._fill_l1(block, dirty=write)
+            return LLC, latency
+        latency += h.dram.read(block)
+        h._fill_llc(block, aux=aux)
+        h._fill_l2(block)
+        h._fill_l1(block, dirty=write)
+        return DRAM, latency
+
+    # -- ablation paths ------------------------------------------------------
+    def _fill_l1_victim(self, block: int, dirty: bool = False,
+                        prefetch: bool = False) -> None:
+        """L1 fill whose evictions land in the victim cache (Jouppi)."""
+        evicted = self.hierarchy.l1d.fill(block, dirty=dirty,
+                                          prefetch=prefetch)
+        if evicted is not None:
+            vev = self.victim.fill(evicted[0], dirty=evicted[1])
+            if vev is not None and vev[1]:
+                self.hierarchy._writeback_to_l2(vev[0])
+
+    def _access_victim(self, block: int, write: bool, aux
+                       ) -> tuple[int, int]:
+        h = self.hierarchy
+        latency = h.l1d.latency
+        l1_hit = h.l1d.access(block, write)
+        if h.l1_prefetcher is not None:
+            for pf in h.l1_prefetcher.on_access(block, l1_hit):
+                if not h.l1d.contains(pf) and not self.victim.contains(pf):
+                    self._fill_l1_victim(pf, prefetch=True)
+        if l1_hit:
+            return L1D, latency
+        latency += self.victim.latency
+        if self.victim.access(block, write):
+            # Swap the line back into the L1D.
+            _, vdirty = self.victim.invalidate(block)
+            self._fill_l1_victim(block, dirty=write or vdirty)
+            return SDC_LEVEL, latency
+        latency += h.l2c.latency
+        l2_hit = h.l2c.access(block, False)
+        if h.l2_prefetcher is not None:
+            for pf in h.l2_prefetcher.on_access(block, l2_hit):
+                if not h.l2c.contains(pf):
+                    h._fill_l2(pf, prefetch=True)
+        if l2_hit:
+            self._fill_l1_victim(block, dirty=write)
+            return L2C, latency
+        latency += h.llc.latency
+        if h.llc.access(block, False, aux=aux):
+            h._fill_l2(block)
+            self._fill_l1_victim(block, dirty=write)
+            return LLC, latency
+        latency += h.dram.read(block)
+        h._fill_llc(block, aux=aux)
+        h._fill_l2(block)
+        self._fill_l1_victim(block, dirty=write)
+        return DRAM, latency
+
+    def _access_lp_bypass(self, block: int, write: bool
+                          ) -> tuple[int, int]:
+        """Irregular path of the SDC-less ablation: skip the L2C/LLC
+        lookups, go to DRAM after a directory check, fill only the L1D."""
+        h = self.hierarchy
+        latency = h.l1d.latency
+        l1_hit = h.l1d.access(block, write)
+        if h.l1_prefetcher is not None:
+            for pf in h.l1_prefetcher.on_access(block, l1_hit):
+                if not h.l1d.contains(pf):
+                    h._fill_l1(pf, prefetch=True)
+        if l1_hit:
+            return L1D, latency
+        latency += self.config.sdc_miss_dir_latency
+        # The directory still finds copies below; serve them if present.
+        if h.l2c.contains(block):
+            latency += h.l2c.latency
+            h.l2c.access(block, False)
+            h._fill_l1(block, dirty=write)
+            return L2C, latency
+        if h.llc.contains(block):
+            latency += h.llc.latency
+            h.llc.access(block, False)
+            h._fill_l1(block, dirty=write)
+            return LLC, latency
+        latency += h.dram.read(block)
+        h._fill_l1(block, dirty=write)
+        return DRAM, latency
+
+    # -- main loop -----------------------------------------------------------
+    def run(self, trace: Trace, record_levels: bool = False,
+            warmup: int = 0, flush_sdc_every: int | None = None
+            ) -> SystemStats:
+        """Simulate a trace; ``warmup`` leading accesses touch state but
+        are excluded from the timing/stat windows (paper §IV-C).
+
+        ``flush_sdc_every`` models a hypothetical non-VIPT SDC that must
+        be flushed on context switches (every N accesses): dirty SDC
+        lines write back and the LP table clears.  §III-E argues the
+        real SDC is VIPT and needs no flush; the context-switch study
+        quantifies what that property is worth.
+        """
+        acc = trace.accesses
+        n = len(acc)
+        blocks_np = (acc["addr"] >> BLOCK_BITS).astype(np.int64)
+        pcs = acc["pc"].astype(np.int64).tolist()
+        blocks = blocks_np.tolist()
+        writes = acc["write"].tolist()
+        gaps = acc["gap"].tolist()
+        deps = acc["dep"].tolist()
+        # 4 KiB pages for the TLB (precomputed to keep the loop lean).
+        pages = (acc["addr"] >> 12).astype(np.int64).tolist() \
+            if self.tlb is not None else None
+
+        aux_list = self._precompute_aux(trace, blocks_np)
+        levels = np.zeros(n, dtype=np.uint8) if record_levels else None
+
+        timer = CoreTimer(self.config.core, self.config.l1d.mshr_entries,
+                          self.config.l1d.latency,
+                          sdc_mshr_entries=self.config.sdc.mshr_entries)
+        completions = [0.0] * n
+        hierarchy = self.hierarchy
+        lp = self.lp
+        has_sdc = self.has_sdc
+        expert = self.variant == "expert"
+        expert_irr = self._expert_block_classifier(trace, blocks_np) \
+            if expert else None
+
+        tlb = self.tlb
+        stats_reset_at = min(warmup, n)
+        for i in range(n):
+            if flush_sdc_every and i and i % flush_sdc_every == 0:
+                self._flush_sdc_state()
+            if i == stats_reset_at and warmup:
+                self._reset_stats()
+                timer = CoreTimer(
+                    self.config.core, self.config.l1d.mshr_entries,
+                    self.config.l1d.latency,
+                    sdc_mshr_entries=self.config.sdc.mshr_entries)
+            block = blocks[i]
+            write = writes[i]
+            aux = aux_list[i] if aux_list is not None else None
+            tlb_latency = tlb.translate_page(pages[i]) if tlb else 0
+
+            pool = 0
+            if has_sdc:
+                if expert:
+                    irregular = expert_irr[i]
+                else:
+                    irregular = lp.predict_and_update(pcs[i], block)
+                if irregular:
+                    level, latency = self._access_via_sdc(block, write)
+                    pool = 1            # SDC's own MSHR file (Table I)
+                else:
+                    level, latency = self._access_regular_with_sdc(
+                        block, write, aux, pc=pcs[i])
+            elif self.victim is not None:
+                level, latency = self._access_victim(block, write, aux)
+            elif self.variant == "lp_bypass":
+                if lp.predict_and_update(pcs[i], block):
+                    level, latency = self._access_lp_bypass(block, write)
+                else:
+                    result = hierarchy.access(block, write, aux=aux,
+                                              pc=pcs[i])
+                    level, latency = result.level, result.latency
+            else:
+                result = hierarchy.access(block, write, aux=aux,
+                                          pc=pcs[i])
+                level, latency = result.level, result.latency
+
+            dep = deps[i]
+            dep_c = completions[dep] if dep >= 0 else None
+            completions[i] = timer.access(gaps[i], latency + tlb_latency,
+                                          dep_c, pool=pool)
+            if levels is not None:
+                levels[i] = level
+
+        return SystemStats(
+            variant=self.variant,
+            instructions=timer.instructions,
+            cycles=timer.cycles,
+            l1d=hierarchy.l1d.stats,
+            l2c=hierarchy.l2c.stats,
+            llc=hierarchy.llc.stats,
+            sdc=self.sdc.stats if self.sdc else None,
+            dram=hierarchy.dram.stats,
+            lp=lp.stats if lp else None,
+            levels=levels,
+            tlb=tlb.stats if tlb else None)
+
+    # -- helpers ---------------------------------------------------------------
+    def _precompute_aux(self, trace: Trace, blocks: np.ndarray):
+        """Per-access aux values for the LLC policy, by variant."""
+        if self.variant == "topt":
+            nxt = next_use_indices(blocks)
+            irr = irregular_access_mask(trace)
+            return list(zip(nxt.tolist(), irr.tolist()))
+        if self.variant == "distill":
+            # Word index within the block (8 B words).
+            return ((trace.accesses["addr"] >> 3) & 7).astype(
+                np.int64).tolist()
+        if self.config.llc.replacement == "ship":
+            # SHiP keys its hit predictor on the access PC.
+            return trace.accesses["pc"].astype(np.int64).tolist()
+        return None
+
+    def _expert_block_classifier(self, trace: Trace,
+                                 blocks: np.ndarray) -> list[bool]:
+        space = trace.address_space
+        rids = space.classify_addresses(
+            trace.accesses["addr"].astype(np.int64))
+        return np.isin(rids, list(self.expert_regions)).tolist()
+
+    def _flush_sdc_state(self) -> None:
+        """Context-switch flush of the SDC and LP (see ``run``).
+
+        Flush write-backs are accounted in the DRAM write counter but do
+        not touch row-buffer state (they drain asynchronously between
+        the switched processes, not ahead of the next access stream).
+        """
+        if self.sdc is not None:
+            for _block in self.sdc.dirty_blocks():
+                self.hierarchy.dram.stats.writes += 1
+            self.sdc.flush()
+            if self.sdcdir is not None:
+                for s in self.sdcdir.sets:
+                    s.clear()
+        if self.lp is not None:
+            for s in self.lp.sets:
+                s.clear()
+
+    def _reset_stats(self) -> None:
+        h = self.hierarchy
+        h.l1d.stats = CacheStats()
+        h.l2c.stats = CacheStats()
+        h.llc.stats = CacheStats()
+        h.dram.stats = DRAMStats()
+        if self.sdc is not None:
+            self.sdc.stats = CacheStats()
+        if self.lp is not None:
+            self.lp.stats = LPStats()
+        if self.tlb is not None:
+            self.tlb.stats = TLBStats()

@@ -1,0 +1,15 @@
+"""Experiment harness: the 36 workloads, runners, and one entry point per
+paper table/figure (see DESIGN.md §4 for the experiment index)."""
+
+from repro.experiments.workloads import (WORKLOADS, Workload,
+                                         multicore_mixes, workload_trace)
+from repro.experiments.runner import run_variant, run_workload
+
+__all__ = [
+    "WORKLOADS",
+    "Workload",
+    "workload_trace",
+    "multicore_mixes",
+    "run_workload",
+    "run_variant",
+]

@@ -1,0 +1,59 @@
+"""CSV export of experiment results (for external plotting/analysis).
+
+Every figure-function result is a flat dataclass of parallel lists;
+:func:`to_csv` turns any of them into a CSV string, and
+:func:`write_csv` saves it.  Column discovery is by dataclass fields, so
+new result types export without changes here.
+"""
+
+from __future__ import annotations
+
+import csv
+import dataclasses
+import io
+from pathlib import Path
+
+
+def _columns(result) -> dict[str, list]:
+    """Extract the parallel-list columns of a result dataclass."""
+    if not dataclasses.is_dataclass(result):
+        raise TypeError("result must be a dataclass instance")
+    cols: dict[str, list] = {}
+    length = None
+    for field in dataclasses.fields(result):
+        value = getattr(result, field.name)
+        if isinstance(value, dict):
+            for key, sub in value.items():
+                if isinstance(sub, list):
+                    cols[f"{field.name}.{key}"] = sub
+        elif isinstance(value, list):
+            cols[field.name] = value
+    for name, col in cols.items():
+        if length is None:
+            length = len(col)
+        elif len(col) != length:
+            raise ValueError(f"column {name!r} length {len(col)} != "
+                             f"{length}; result is not tabular")
+    if not cols:
+        raise ValueError("result has no list columns to export")
+    return cols
+
+
+def to_csv(result) -> str:
+    """Render a figure result as CSV text (header + one row per point)."""
+    cols = _columns(result)
+    names = list(cols)
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(names)
+    for row in zip(*cols.values()):
+        writer.writerow(row)
+    return buf.getvalue()
+
+
+def write_csv(result, path) -> Path:
+    """Save a figure result to ``path``; returns the Path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(to_csv(result))
+    return path

@@ -1,0 +1,761 @@
+"""One entry point per paper table and figure (DESIGN.md §4).
+
+Every function returns a plain result object with the series the paper
+plots, plus a ``format()``-style text rendering via
+:mod:`repro.experiments.report`.  Absolute numbers come from our
+substituted substrate; the claims being reproduced are the *shapes*:
+orderings, ratios and crossovers (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.config import LPConfig, SystemConfig
+from repro.core.expert import expert_regions_for
+from repro.core.multicore import MultiCoreSystem
+from repro.core.system import SingleCoreSystem, SystemStats
+from repro.experiments.runner import (default_config, run_variant, speedup)
+from repro.experiments.workloads import (DEFAULT_TIER, DEFAULT_TRACE_LEN,
+                                         WORKLOADS, Workload,
+                                         multicore_mixes, workload_trace)
+from repro.mem.hierarchy import DRAM
+
+
+def _workload_list(workloads) -> list[Workload]:
+    if workloads is None:
+        return list(WORKLOADS)
+    out = []
+    for wl in workloads:
+        if isinstance(wl, str):
+            kernel, graph = wl.split(".", 1)
+            wl = Workload(kernel, graph)
+        out.append(wl)
+    return out
+
+
+def geomean(values: list[float]) -> float:
+    """Geometric mean of (1 + x) ratios, reported as a fraction."""
+    if not values:
+        return 0.0
+    return math.exp(sum(math.log(max(1e-9, 1.0 + v))
+                        for v in values) / len(values)) - 1.0
+
+
+# ---------------------------------------------------------------------------
+# Fig. 2 — baseline MPKI across the hierarchy.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Fig2Result:
+    workloads: list[str]
+    l1d: list[float]
+    l2c: list[float]
+    llc: list[float]
+
+    @property
+    def averages(self) -> tuple[float, float, float]:
+        return (float(np.mean(self.l1d)), float(np.mean(self.l2c)),
+                float(np.mean(self.llc)))
+
+
+def fig2_mpki(workloads=None, config: SystemConfig | None = None,
+              tier: str = DEFAULT_TIER,
+              length: int = DEFAULT_TRACE_LEN) -> Fig2Result:
+    """Baseline L1D/L2C/LLC MPKI per workload (paper Fig. 2)."""
+    cfg = config or default_config()
+    wls = _workload_list(workloads)
+    res = Fig2Result([], [], [], [])
+    for wl in wls:
+        trace = workload_trace(wl, tier=tier, length=length)
+        stats = run_variant(trace, "baseline", cfg)
+        res.workloads.append(wl.name)
+        res.l1d.append(stats.mpki("l1d"))
+        res.l2c.append(stats.mpki("l2c"))
+        res.llc.append(stats.mpki("llc"))
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Fig. 3 — P(DRAM) by PC-local stride bucket.
+# ---------------------------------------------------------------------------
+
+STRIDE_BUCKETS = ((0, 0), (1, 1), (2, 10), (11, 100), (101, 1000),
+                  (1001, 10_000), (10_001, 100_000), (100_001, 1_000_000),
+                  (1_000_001, None))
+
+BUCKET_LABELS = ("0", "1", "(10^0,10^1]", "(10^1,10^2]", "(10^2,10^3]",
+                 "(10^3,10^4]", "(10^4,10^5]", "(10^5,10^6]", ">10^6")
+
+
+@dataclass
+class Fig3Result:
+    workload: str
+    labels: list[str]
+    dram_probability: list[float]    # NaN for empty buckets
+    access_counts: list[int]
+
+
+def pc_local_strides(trace) -> np.ndarray:
+    """|block stride| w.r.t. the previous access by the same PC
+    (-1 for the first access of each PC)."""
+    pcs = trace.accesses["pc"].astype(np.int64)
+    blocks = trace.block_addrs()
+    n = len(pcs)
+    order = np.lexsort((np.arange(n), pcs))
+    sp, sb = pcs[order], blocks[order]
+    strides = np.full(n, -1, dtype=np.int64)
+    same = sp[1:] == sp[:-1]
+    strides[order[1:][same]] = np.abs(sb[1:] - sb[:-1])[same]
+    return strides
+
+
+def fig3_stride_dram(workload: str = "cc.friendster",
+                     config: SystemConfig | None = None,
+                     tier: str = DEFAULT_TIER,
+                     length: int = DEFAULT_TRACE_LEN) -> Fig3Result:
+    """Probability of an access being DRAM-served per stride bucket
+    (paper Fig. 3, characterized on cc.friendster)."""
+    cfg = config or default_config()
+    trace = workload_trace(workload, tier=tier, length=length)
+    stats = run_variant(trace, "baseline", cfg, record_levels=True)
+    strides = pc_local_strides(trace)
+    is_dram = stats.levels == DRAM
+
+    probs, counts = [], []
+    valid = strides >= 0
+    for lo, hi in STRIDE_BUCKETS:
+        sel = valid & (strides >= lo)
+        if hi is not None:
+            sel &= strides <= hi
+        total = int(sel.sum())
+        counts.append(total)
+        probs.append(float(is_dram[sel].mean()) if total else float("nan"))
+    return Fig3Result(workload, list(BUCKET_LABELS), probs, counts)
+
+
+# ---------------------------------------------------------------------------
+# Fig. 7 — single-core speedups of all designs over Baseline.
+# ---------------------------------------------------------------------------
+
+SINGLE_CORE_VARIANTS = ("l1iso", "distill", "topt", "llc2x", "sdc_lp")
+
+
+@dataclass
+class Fig7Result:
+    workloads: list[str]
+    speedups: dict[str, list[float]]          # variant -> per-workload
+    baseline_cycles: list[float] = field(default_factory=list)
+
+    def geomean(self, variant: str) -> float:
+        return geomean(self.speedups[variant])
+
+    def geomeans(self) -> dict[str, float]:
+        return {v: self.geomean(v) for v in self.speedups}
+
+
+def fig7_single_core(workloads=None, variants=SINGLE_CORE_VARIANTS,
+                     config: SystemConfig | None = None,
+                     tier: str = DEFAULT_TIER,
+                     length: int = DEFAULT_TRACE_LEN) -> Fig7Result:
+    """Speedup of each design over Baseline, per workload (paper Fig. 7)."""
+    cfg = config or default_config()
+    wls = _workload_list(workloads)
+    res = Fig7Result([w.name for w in wls], {v: [] for v in variants})
+    for wl in wls:
+        trace = workload_trace(wl, tier=tier, length=length)
+        base = run_variant(trace, "baseline", cfg)
+        res.baseline_cycles.append(base.cycles)
+        for v in variants:
+            stats = run_variant(trace, v, cfg)
+            res.speedups[v].append(speedup(base, stats))
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Fig. 8 / Fig. 9 — MPKI deltas between Baseline and SDC+LP.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class MPKICompareResult:
+    workloads: list[str]
+    baseline: dict[str, list[float]]     # cache -> per-workload MPKI
+    sdc_lp: dict[str, list[float]]
+
+    def average(self, design: str, cache: str) -> float:
+        vals = getattr(self, design)[cache]
+        return float(np.mean(vals)) if vals else 0.0
+
+
+def fig8_l2_llc_mpki(workloads=None, config: SystemConfig | None = None,
+                     tier: str = DEFAULT_TIER,
+                     length: int = DEFAULT_TRACE_LEN) -> MPKICompareResult:
+    """L2C and LLC MPKI, Baseline vs SDC+LP (paper Fig. 8)."""
+    return _mpki_compare(("l2c", "llc"), workloads, config, tier, length)
+
+
+def fig9_l1_sdc_mpki(workloads=None, config: SystemConfig | None = None,
+                     tier: str = DEFAULT_TIER,
+                     length: int = DEFAULT_TRACE_LEN) -> MPKICompareResult:
+    """L1D (and SDC) MPKI, Baseline vs SDC+LP (paper Fig. 9)."""
+    return _mpki_compare(("l1d", "sdc"), workloads, config, tier, length)
+
+
+def _mpki_compare(caches, workloads, config, tier, length
+                  ) -> MPKICompareResult:
+    cfg = config or default_config()
+    wls = _workload_list(workloads)
+    res = MPKICompareResult([w.name for w in wls],
+                            {c: [] for c in caches},
+                            {c: [] for c in caches})
+    for wl in wls:
+        trace = workload_trace(wl, tier=tier, length=length)
+        base = run_variant(trace, "baseline", cfg)
+        prop = run_variant(trace, "sdc_lp", cfg)
+        for c in caches:
+            res.baseline[c].append(base.mpki(c))
+            res.sdc_lp[c].append(prop.mpki(c))
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Fig. 10 — SDC size sweep.
+# ---------------------------------------------------------------------------
+
+# (relative size multiplier, ways, latency) — paper §V-B1.
+SDC_SIZE_POINTS = ((1, 2, 1), (2, 4, 3), (4, 8, 4))
+
+
+@dataclass
+class Fig10Result:
+    sizes_kib: list[float]
+    sdc_mpki: list[float]              # average across workloads
+    speedup_geomean: list[float]
+
+
+def fig10_sdc_size(workloads=None, config: SystemConfig | None = None,
+                   tier: str = DEFAULT_TIER,
+                   length: int = DEFAULT_TRACE_LEN) -> Fig10Result:
+    """SDC MPKI and speedup for 8/16/32 KiB-class SDCs (paper Fig. 10)."""
+    cfg = config or default_config()
+    wls = _workload_list(workloads)
+    res = Fig10Result([], [], [])
+    for mult, ways, lat in SDC_SIZE_POINTS:
+        sdc = cfg.sdc.resized(cfg.sdc.size_bytes * mult, ways=ways,
+                              latency=lat)
+        cfg_i = dataclasses.replace(cfg, sdc=sdc)
+        mpkis, sps = [], []
+        for wl in wls:
+            trace = workload_trace(wl, tier=tier, length=length)
+            base = run_variant(trace, "baseline", cfg_i)
+            stats = run_variant(trace, "sdc_lp", cfg_i)
+            mpkis.append(stats.mpki("sdc"))
+            sps.append(speedup(base, stats))
+        res.sizes_kib.append(sdc.size_bytes / 1024)
+        res.sdc_mpki.append(float(np.mean(mpkis)))
+        res.speedup_geomean.append(geomean(sps))
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Fig. 11 / Fig. 12 — LP geometry sweeps.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SweepResult:
+    points: list[int | float]
+    speedup_geomean: list[float]
+    label: str = ""
+
+
+def _lp_sweep(lp_configs: list[LPConfig], points, label, workloads, config,
+              tier, length) -> SweepResult:
+    cfg = config or default_config()
+    wls = _workload_list(workloads)
+    res = SweepResult(list(points), [], label)
+    for lp in lp_configs:
+        cfg_i = dataclasses.replace(cfg, lp=lp)
+        sps = []
+        for wl in wls:
+            trace = workload_trace(wl, tier=tier, length=length)
+            base = run_variant(trace, "baseline", cfg_i)
+            stats = run_variant(trace, "sdc_lp", cfg_i)
+            sps.append(speedup(base, stats))
+        res.speedup_geomean.append(geomean(sps))
+    return res
+
+
+def fig11_lp_entries(workloads=None, config: SystemConfig | None = None,
+                     entries=(8, 16, 32, 64), tier: str = DEFAULT_TIER,
+                     length: int = DEFAULT_TRACE_LEN) -> SweepResult:
+    """Fully-associative LP tables of 8..64 entries (paper Fig. 11)."""
+    base_lp = (config or default_config()).lp
+    lps = [dataclasses.replace(base_lp, entries=e, ways=e) for e in entries]
+    return _lp_sweep(lps, entries, "LP entries (fully assoc.)", workloads,
+                     config, tier, length)
+
+
+def fig12_lp_assoc(workloads=None, config: SystemConfig | None = None,
+                   ways=(1, 2, 8, 32), tier: str = DEFAULT_TIER,
+                   length: int = DEFAULT_TRACE_LEN) -> SweepResult:
+    """32-entry LP at different associativities (paper Fig. 12)."""
+    base_lp = (config or default_config()).lp
+    lps = [dataclasses.replace(base_lp, entries=32, ways=w) for w in ways]
+    return _lp_sweep(lps, ways, "LP associativity (32 entries)", workloads,
+                     config, tier, length)
+
+
+# ---------------------------------------------------------------------------
+# §V-B3 — global threshold sweep (GAP + SPEC surrogate).
+# ---------------------------------------------------------------------------
+
+@dataclass
+class TauSweepResult:
+    taus: list[int]
+    gap_speedup: list[float]
+    regular_speedup: list[float]
+
+
+def tau_sweep(workloads=None, config: SystemConfig | None = None,
+              taus=(0, 2, 4, 8, 16, 64, 256), tier: str = DEFAULT_TIER,
+              length: int = DEFAULT_TRACE_LEN,
+              regular_len: int = 100_000) -> TauSweepResult:
+    """Speedup vs τ_glob on graph and regular workloads (paper §V-B3)."""
+    from repro.trace.synthetic import regular_suite
+    cfg = config or default_config()
+    wls = _workload_list(workloads)
+    # Size the hot set to the simulated SDC so the regular suite is
+    # genuinely cache-friendly at this scale (see synthetic.py).
+    regular = regular_suite(regular_len,
+                            hot_ws_kib=max(1, cfg.sdc.size_bytes // 2048))
+    res = TauSweepResult(list(taus), [], [])
+    gap_traces = [workload_trace(wl, tier=tier, length=length)
+                  for wl in wls]
+    gap_base = [run_variant(t, "baseline", cfg) for t in gap_traces]
+    reg_base = {k: run_variant(t, "baseline", cfg)
+                for k, t in regular.items()}
+    for tau in taus:
+        cfg_i = dataclasses.replace(
+            cfg, lp=dataclasses.replace(cfg.lp, tau_glob=tau))
+        sps = [speedup(b, run_variant(t, "sdc_lp", cfg_i))
+               for t, b in zip(gap_traces, gap_base)]
+        res.gap_speedup.append(geomean(sps))
+        rsp = [speedup(reg_base[k], run_variant(t, "sdc_lp", cfg_i))
+               for k, t in regular.items()]
+        res.regular_speedup.append(geomean(rsp))
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Fig. 13 — SDC+LP vs the Expert Programmer.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Fig13Result:
+    workloads: list[str]
+    sdc_lp: list[float]
+    expert: list[float]
+
+    def geomeans(self) -> tuple[float, float]:
+        return geomean(self.sdc_lp), geomean(self.expert)
+
+
+def fig13_expert(workloads=None, config: SystemConfig | None = None,
+                 tier: str = DEFAULT_TIER,
+                 length: int = DEFAULT_TRACE_LEN) -> Fig13Result:
+    """Speedups of SDC+LP and Expert Programmer over Baseline (Fig. 13)."""
+    from repro.core.expert import expert_regions_best
+    cfg = config or default_config()
+    wls = _workload_list(workloads)
+    res = Fig13Result([w.name for w in wls], [], [])
+    for wl in wls:
+        trace = workload_trace(wl, tier=tier, length=length)
+        base = run_variant(trace, "baseline", cfg)
+        regions = expert_regions_best(trace, cfg)
+        lp_stats = run_variant(trace, "sdc_lp", cfg)
+        ex_stats = run_variant(trace, "expert", cfg,
+                               expert_regions=regions)
+        res.sdc_lp.append(speedup(base, lp_stats))
+        res.expert.append(speedup(base, ex_stats))
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Fig. 14 — multi-core weighted speedup.
+# ---------------------------------------------------------------------------
+
+MULTI_CORE_VARIANTS = ("l1iso", "distill", "topt", "llc2x", "sdc_lp")
+
+
+@dataclass
+class Fig14Result:
+    mixes: list[str]
+    weighted_speedup: dict[str, list[float]]   # variant -> per-mix
+
+    def geomean(self, variant: str) -> float:
+        return geomean(self.weighted_speedup[variant])
+
+    def geomeans(self) -> dict[str, float]:
+        return {v: self.geomean(v) for v in self.weighted_speedup}
+
+
+def fig14_multicore(num_mixes: int = 50, cores: int = 4,
+                    variants=MULTI_CORE_VARIANTS,
+                    config: SystemConfig | None = None,
+                    tier: str = DEFAULT_TIER,
+                    length: int = DEFAULT_TRACE_LEN // 2,
+                    seed: int = 42) -> Fig14Result:
+    """Weighted speedup of each design over Baseline on random 4-thread
+    mixes (paper Fig. 14, §IV-D methodology)."""
+    cfg = dataclasses.replace(config or default_config(), num_cores=cores)
+    mixes = multicore_mixes(num_mixes, cores, seed)
+    # IPC_single per workload per variant: isolated run on the same
+    # system (full shared LLC available to the single thread).
+    needed = sorted({wl.name for mix in mixes for wl in mix})
+    single_cfg = dataclasses.replace(
+        cfg, llc=cfg.llc.resized(cfg.llc.size_bytes * cores), num_cores=1)
+    singles: dict[tuple[str, str], float] = {}
+    traces = {}
+    for name in needed:
+        traces[name] = workload_trace(name, tier=tier, length=length)
+    for v in ("baseline",) + tuple(variants):
+        for name in needed:
+            stats = run_variant(traces[name], v, single_cfg)
+            singles[(v, name)] = stats.ipc
+
+    res = Fig14Result([], {v: [] for v in variants})
+    for mix in mixes:
+        res.mixes.append("+".join(wl.name for wl in mix))
+        mix_traces = [traces[wl.name] for wl in mix]
+        base_ws = _weighted_ipc(cfg, "baseline", mix, mix_traces, singles)
+        for v in variants:
+            ws = _weighted_ipc(cfg, v, mix, mix_traces, singles)
+            res.weighted_speedup[v].append(ws / base_ws - 1.0
+                                           if base_ws else 0.0)
+    return res
+
+
+def _weighted_ipc(cfg, variant, mix, mix_traces, singles) -> float:
+    expert_regions = None
+    if variant == "expert":
+        expert_regions = [expert_regions_for(t) for t in mix_traces]
+    system = MultiCoreSystem(cfg, variant=variant,
+                             expert_regions=expert_regions)
+    result = system.run(mix_traces)
+    total = 0.0
+    for wl, stats in zip(mix, result.per_core):
+        ipc_single = singles[(variant, wl.name)]
+        total += stats.ipc / ipc_single if ipc_single else 0.0
+    return total
+
+
+# ---------------------------------------------------------------------------
+# Ablations (beyond the paper's comparison set; DESIGN.md design choices).
+# ---------------------------------------------------------------------------
+
+ABLATION_VARIANTS = ("victim", "lp_bypass", "sdc_lp")
+
+
+@dataclass
+class AblationResult:
+    workloads: list[str]
+    speedups: dict[str, list[float]]     # variant/label -> per-workload
+
+    def geomeans(self) -> dict[str, float]:
+        return {v: geomean(sp) for v, sp in self.speedups.items()}
+
+
+def ablation_study(workloads=None, config: SystemConfig | None = None,
+                   tier: str = DEFAULT_TIER,
+                   length: int = DEFAULT_TRACE_LEN) -> AblationResult:
+    """Decompose SDC+LP's benefit into its ingredients:
+
+    * ``victim``      — iso-storage L1 victim cache: is 8 KiB of extra
+      near-L1 storage enough by itself?  (No: victims have no reuse.)
+    * ``lp_bypass``   — LP routing without the SDC: how much comes from
+      skipping the useless L2C/LLC lookups alone?
+    * ``sdc_lp``      — the full proposal.
+    * ``sdc_lp/nodep`` — the full proposal on a trace with dependency
+      links stripped: quantifies how much of the modelled benefit rides
+      on pointer-chase serialization (DESIGN.md §5, substitution #1).
+    """
+    cfg = config or default_config()
+    wls = _workload_list(workloads)
+    labels = list(ABLATION_VARIANTS) + ["sdc_lp/nodep"]
+    res = AblationResult([w.name for w in wls],
+                         {v: [] for v in labels})
+    for wl in wls:
+        trace = workload_trace(wl, tier=tier, length=length)
+        base = run_variant(trace, "baseline", cfg)
+        for v in ABLATION_VARIANTS:
+            res.speedups[v].append(speedup(base, run_variant(trace, v,
+                                                             cfg)))
+        nodep = Trace_without_deps(trace)
+        nodep_base = run_variant(nodep, "baseline", cfg)
+        nodep_prop = run_variant(nodep, "sdc_lp", cfg)
+        res.speedups["sdc_lp/nodep"].append(speedup(nodep_base,
+                                                    nodep_prop))
+    return res
+
+
+def Trace_without_deps(trace):
+    """Copy of a trace with all dependency links removed."""
+    from repro.trace.record import Trace
+    acc = trace.accesses.copy()
+    acc["dep"] = -1
+    return Trace(acc, trace.address_space, trace.name + ".nodep",
+                 trace.kernel, trace.graph)
+
+
+# ---------------------------------------------------------------------------
+# Related-work studies (§VI claims, beyond the paper's own figures).
+# ---------------------------------------------------------------------------
+
+REPLACEMENT_POLICIES = ("lru", "srrip", "drrip", "ship", "topt")
+
+
+@dataclass
+class PolicyStudyResult:
+    policies: list[str]
+    speedup_geomean: list[float]     # vs the LRU LLC
+
+
+def replacement_study(workloads=None, config: SystemConfig | None = None,
+                      policies=REPLACEMENT_POLICIES,
+                      tier: str = DEFAULT_TIER,
+                      length: int = DEFAULT_TRACE_LEN) -> PolicyStudyResult:
+    """§VI *Replacement Policies*: sophisticated LLC replacement
+    (DRRIP, SHiP) barely helps graph workloads, while transpose-driven
+    T-OPT does — cache bypassing beats smarter retention."""
+    cfg = config or default_config()
+    wls = _workload_list(workloads)
+    res = PolicyStudyResult(list(policies), [])
+    traces = [workload_trace(wl, tier=tier, length=length) for wl in wls]
+    base_stats = [run_variant(t, "baseline", cfg) for t in traces]
+    for policy in policies:
+        if policy == "lru":
+            res.speedup_geomean.append(0.0)
+            continue
+        sps = []
+        for trace, base in zip(traces, base_stats):
+            if policy == "topt":
+                stats = run_variant(trace, "topt", cfg)
+            else:
+                cfg_i = dataclasses.replace(
+                    cfg, llc=dataclasses.replace(cfg.llc,
+                                                 replacement=policy))
+                stats = run_variant(trace, "baseline", cfg_i)
+            sps.append(speedup(base, stats))
+        res.speedup_geomean.append(geomean(sps))
+    return res
+
+
+PREFETCHER_CONFIGS = ("none", "next_line", "stride", "spp")
+
+
+@dataclass
+class PrefetcherStudyResult:
+    l1_prefetchers: list[str]
+    speedup_geomean: list[float]         # baseline hierarchy, vs "none"
+    sdc_lp_speedup: list[float]          # SDC+LP with that SDC prefetcher
+
+
+def prefetcher_study(workloads=None, config: SystemConfig | None = None,
+                     prefetchers=PREFETCHER_CONFIGS,
+                     tier: str = DEFAULT_TIER,
+                     length: int = DEFAULT_TRACE_LEN
+                     ) -> PrefetcherStudyResult:
+    """§VI *Hardware Prefetching*: stride-class prefetchers cannot cover
+    indirect graph accesses; and the paper's stated future work — SDC+LP
+    *combined* with prefetching — implemented here by swapping the
+    SDC/L1D prefetcher."""
+    cfg = config or default_config()
+    wls = _workload_list(workloads)
+    traces = [workload_trace(wl, tier=tier, length=length) for wl in wls]
+    res = PrefetcherStudyResult(list(prefetchers), [], [])
+    none_cfg = _with_l1_prefetcher(cfg, None)
+    base_none = [run_variant(t, "baseline", none_cfg) for t in traces]
+    for pf in prefetchers:
+        pf_name = None if pf == "none" else pf
+        cfg_i = _with_l1_prefetcher(cfg, pf_name)
+        sps = [speedup(b, run_variant(t, "baseline", cfg_i))
+               for t, b in zip(traces, base_none)]
+        res.speedup_geomean.append(geomean(sps))
+        sdc_sps = [speedup(b, run_variant(t, "sdc_lp", cfg_i))
+                   for t, b in zip(traces, base_none)]
+        res.sdc_lp_speedup.append(geomean(sdc_sps))
+    return res
+
+
+def _with_l1_prefetcher(cfg: SystemConfig, name: str | None
+                        ) -> SystemConfig:
+    # The SDC's own prefetcher is next-line per Table I; it is only
+    # meaningfully togglable on/off (the L1 prefetcher is what varies).
+    sdc_pf = None if name is None else "next_line"
+    return dataclasses.replace(
+        cfg,
+        l1d=dataclasses.replace(cfg.l1d, prefetcher=name),
+        sdc=dataclasses.replace(cfg.sdc, prefetcher=sdc_pf))
+
+
+@dataclass
+class PreprocessingStudyResult:
+    orderings: list[str]
+    speedup: list[float]          # baseline run on reordered graph
+    cost_ratio: list[float]       # preprocessing touches / trace length
+    sdc_lp_original: float        # SDC+LP on the untouched graph
+
+
+def preprocessing_study(kernel: str = "pr", graph_name: str = "kron",
+                        config: SystemConfig | None = None,
+                        orderings=("original", "random", "degree", "bfs",
+                                   "rcm"),
+                        tier: str = DEFAULT_TIER,
+                        length: int = DEFAULT_TRACE_LEN
+                        ) -> PreprocessingStudyResult:
+    """§VI *Pre-Processing Algorithms*: locality-improving reordering
+    helps the baseline but costs more memory touches than the traversal
+    it accelerates, while SDC+LP gets its gains with zero preprocessing."""
+    from repro.graphs.reorder import ORDERINGS, apply_order, estimated_cost
+    from repro.graphs.suite import load_graph
+    from repro.kernels.common import KERNEL_TABLE
+    from repro.trace.kernels import generate_trace
+    cfg = config or default_config()
+    weighted = KERNEL_TABLE[kernel].weighted_input
+    g0 = load_graph(graph_name, tier=tier, weighted=weighted)
+
+    res = PreprocessingStudyResult([], [], [], 0.0)
+    base_cycles = None
+    for name in orderings:
+        order = ORDERINGS[name](g0)
+        g = g0 if name == "original" else apply_order(g0, order, name)
+        trace = generate_trace(kernel, g, max_accesses=length * 3)
+        if len(trace) > length:
+            trace = trace.slice(len(trace) - length, len(trace))
+        stats = run_variant(trace, "baseline", cfg)
+        if name == "original":
+            base_cycles = stats.cycles
+            sdc_stats = run_variant(trace, "sdc_lp", cfg)
+            res.sdc_lp_original = base_cycles / sdc_stats.cycles - 1.0
+        res.orderings.append(name)
+        res.speedup.append(base_cycles / stats.cycles - 1.0)
+        res.cost_ratio.append(estimated_cost(name, g0) / max(1, length))
+    return res
+
+
+# ---------------------------------------------------------------------------
+# §III-E — context switches: what the SDC's VIPT property is worth.
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ContextSwitchResult:
+    intervals: list[int]             # accesses between switches (0 = never)
+    speedup_geomean: list[float]     # SDC+LP speedup over baseline
+
+
+def context_switch_study(workloads=None,
+                         config: SystemConfig | None = None,
+                         intervals=(0, 50_000, 10_000, 2_000),
+                         tier: str = DEFAULT_TIER,
+                         length: int = DEFAULT_TRACE_LEN
+                         ) -> ContextSwitchResult:
+    """§III-E: the SDC is VIPT, so context switches need no flush.
+
+    This study runs SDC+LP while force-flushing the SDC + LP every N
+    accesses (as a virtually-tagged design would have to).  Interval 0
+    (never flush) is the paper's design point.  The measured shape is a
+    *robustness* result: the structures are tiny (10 KB) and retrain
+    within tens of accesses, so even absurdly frequent flushing leaves
+    the speedup intact — flushing LP even helps slightly on workloads
+    where τ_glob=8 over-routes to the SDC, because a cleared table
+    predicts "regular" until strides re-accumulate.
+    """
+    cfg = config or default_config()
+    wls = _workload_list(workloads)
+    res = ContextSwitchResult(list(intervals), [])
+    traces = [workload_trace(wl, tier=tier, length=length) for wl in wls]
+    bases = [run_variant(t, "baseline", cfg) for t in traces]
+    from repro.core.system import SingleCoreSystem
+    for interval in intervals:
+        sps = []
+        for trace, base in zip(traces, bases):
+            system = SingleCoreSystem(cfg, "sdc_lp")
+            stats = system.run(trace,
+                               flush_sdc_every=interval or None)
+            sps.append(speedup(base, stats))
+        res.speedup_geomean.append(geomean(sps))
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Energy comparison (§V-E extended with whole-system accounting).
+# ---------------------------------------------------------------------------
+
+@dataclass
+class EnergyStudyResult:
+    workloads: list[str]
+    baseline_epki: list[float]         # µJ per kilo-instruction
+    sdc_lp_epki: list[float]
+    baseline_onchip_mj: list[float]
+    sdc_lp_onchip_mj: list[float]
+
+    def onchip_saving_geomean(self) -> float:
+        vals = [b / s - 1.0 for b, s in zip(self.baseline_onchip_mj,
+                                            self.sdc_lp_onchip_mj)
+                if s > 0]
+        return geomean(vals)
+
+
+def energy_study(workloads=None, config: SystemConfig | None = None,
+                 tier: str = DEFAULT_TIER,
+                 length: int = DEFAULT_TRACE_LEN) -> EnergyStudyResult:
+    """Dynamic energy of Baseline vs SDC+LP.
+
+    SDC+LP replaces L2C+LLC lookups on cache-averse accesses with one
+    1-cycle SDC probe, an LP consult and (on miss) a directory message —
+    all of which §V-E shows to be tiny (0.010-0.034 nJ).  The study
+    quantifies the resulting on-chip energy saving.
+    """
+    from repro.core.energy import energy_of, energy_per_kilo_instruction
+    cfg = config or default_config()
+    wls = _workload_list(workloads)
+    res = EnergyStudyResult([], [], [], [], [])
+    for wl in wls:
+        trace = workload_trace(wl, tier=tier, length=length)
+        base = run_variant(trace, "baseline", cfg)
+        prop = run_variant(trace, "sdc_lp", cfg)
+        res.workloads.append(wl.name)
+        res.baseline_epki.append(energy_per_kilo_instruction(base))
+        res.sdc_lp_epki.append(energy_per_kilo_instruction(prop))
+        res.baseline_onchip_mj.append(energy_of(base).on_chip)
+        res.sdc_lp_onchip_mj.append(energy_of(prop).on_chip)
+    return res
+
+
+# ---------------------------------------------------------------------------
+# Tables.
+# ---------------------------------------------------------------------------
+
+def table2_kernels() -> list[dict]:
+    from repro.kernels.common import KERNEL_TABLE
+    return [dataclasses.asdict(info) for info in KERNEL_TABLE.values()]
+
+
+def table3_graphs(tier: str = DEFAULT_TIER) -> list[dict]:
+    from repro.graphs.suite import GRAPH_SUITE, load_graph
+    rows = []
+    for name, spec in GRAPH_SUITE.items():
+        g = load_graph(name, tier=tier)
+        rows.append({
+            "name": name,
+            "kind": spec.kind,
+            "vertices": g.num_vertices,
+            "edges": g.num_edges,
+            "paper_vertices_m": spec.paper_vertices_m,
+            "paper_edges_m": spec.paper_edges_m,
+        })
+    return rows

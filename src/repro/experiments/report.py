@@ -1,0 +1,186 @@
+"""Plain-text rendering of experiment results, matching the rows/series
+of the paper's tables and figures."""
+
+from __future__ import annotations
+
+def _fmt_pct(x: float) -> str:
+    return f"{100 * x:6.1f}%"
+
+
+def table(headers: list[str], rows: list[list], title: str = "") -> str:
+    cols = [[str(h)] + [f"{r[i]:.2f}" if isinstance(r[i], float)
+                        else str(r[i]) for r in rows]
+            for i, h in enumerate(headers)]
+    widths = [max(len(c) for c in col) for col in cols]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r_i in range(len(rows)):
+        lines.append("  ".join(cols[c_i][r_i + 1].ljust(widths[c_i])
+                               for c_i in range(len(headers))))
+    return "\n".join(lines)
+
+
+def render_fig2(res) -> str:
+    rows = [[w, l1, l2, llc] for w, l1, l2, llc in
+            zip(res.workloads, res.l1d, res.l2c, res.llc)]
+    a1, a2, a3 = res.averages
+    rows.append(["AVERAGE", a1, a2, a3])
+    return table(["workload", "L1D MPKI", "L2C MPKI", "LLC MPKI"], rows,
+                 "Fig. 2 — baseline MPKI across the cache hierarchy")
+
+
+def render_fig3(res) -> str:
+    rows = [[lbl, f"{100 * p:.1f}%" if p == p else "n/a", c]
+            for lbl, p, c in zip(res.labels, res.dram_probability,
+                                 res.access_counts)]
+    return table(["stride bucket (blocks)", "P(DRAM)", "accesses"], rows,
+                 f"Fig. 3 — DRAM probability by PC-local stride "
+                 f"({res.workload})")
+
+
+def render_fig7(res) -> str:
+    variants = list(res.speedups)
+    rows = []
+    for i, w in enumerate(res.workloads):
+        rows.append([w] + [_fmt_pct(res.speedups[v][i]) for v in variants])
+    rows.append(["GEOMEAN"] + [_fmt_pct(res.geomean(v)) for v in variants])
+    return table(["workload"] + variants, rows,
+                 "Fig. 7 — single-core speedup over Baseline")
+
+
+def render_mpki_compare(res, caches, title) -> str:
+    rows = []
+    for i, w in enumerate(res.workloads):
+        row = [w]
+        for c in caches:
+            row += [res.baseline[c][i], res.sdc_lp[c][i]]
+        rows.append(row)
+    avg = ["AVERAGE"]
+    for c in caches:
+        avg += [res.average("baseline", c), res.average("sdc_lp", c)]
+    rows.append(avg)
+    headers = ["workload"]
+    for c in caches:
+        headers += [f"{c} base", f"{c} sdc+lp"]
+    return table(headers, rows, title)
+
+
+def render_fig10(res) -> str:
+    rows = [[f"{s:g} KiB", m, _fmt_pct(sp)] for s, m, sp in
+            zip(res.sizes_kib, res.sdc_mpki, res.speedup_geomean)]
+    return table(["SDC size", "SDC MPKI (avg)", "speedup (gmean)"], rows,
+                 "Fig. 10 — SDC size exploration")
+
+
+def render_sweep(res, xlabel) -> str:
+    rows = [[p, _fmt_pct(s)] for p, s in zip(res.points,
+                                             res.speedup_geomean)]
+    return table([xlabel, "speedup (gmean)"], rows, res.label)
+
+
+def render_tau_sweep(res) -> str:
+    rows = [[t, _fmt_pct(g), _fmt_pct(r)] for t, g, r in
+            zip(res.taus, res.gap_speedup, res.regular_speedup)]
+    return table(["tau_glob", "GAP speedup", "regular speedup"], rows,
+                 "§V-B3 — global threshold sweep")
+
+
+def render_fig13(res) -> str:
+    rows = [[w, _fmt_pct(s), _fmt_pct(e)] for w, s, e in
+            zip(res.workloads, res.sdc_lp, res.expert)]
+    gs, ge = res.geomeans()
+    rows.append(["GEOMEAN", _fmt_pct(gs), _fmt_pct(ge)])
+    return table(["workload", "SDC+LP", "Expert Programmer"], rows,
+                 "Fig. 13 — SDC+LP vs Expert Programmer")
+
+
+def render_fig14(res) -> str:
+    variants = list(res.weighted_speedup)
+    rows = []
+    for i, m in enumerate(res.mixes):
+        rows.append([m[:48]] + [_fmt_pct(res.weighted_speedup[v][i])
+                                for v in variants])
+    rows.append(["GEOMEAN"] + [_fmt_pct(res.geomean(v)) for v in variants])
+    return table(["mix"] + variants, rows,
+                 "Fig. 14 — multi-core weighted speedup over Baseline")
+
+
+def render_ablation(res) -> str:
+    labels = list(res.speedups)
+    rows = []
+    for i, w in enumerate(res.workloads):
+        rows.append([w] + [_fmt_pct(res.speedups[v][i]) for v in labels])
+    gm = res.geomeans()
+    rows.append(["GEOMEAN"] + [_fmt_pct(gm[v]) for v in labels])
+    return table(["workload"] + labels, rows,
+                 "Ablation — decomposing the SDC+LP benefit")
+
+
+def render_policy_study(res) -> str:
+    rows = [[p, _fmt_pct(s)] for p, s in zip(res.policies,
+                                             res.speedup_geomean)]
+    return table(["LLC replacement", "speedup vs LRU"], rows,
+                 "§VI study — LLC replacement policies on graph "
+                 "workloads")
+
+
+def render_prefetcher_study(res) -> str:
+    rows = [[p, _fmt_pct(b), _fmt_pct(s)] for p, b, s in
+            zip(res.l1_prefetchers, res.speedup_geomean,
+                res.sdc_lp_speedup)]
+    return table(["L1/SDC prefetcher", "baseline", "SDC+LP"], rows,
+                 "§VI study — prefetching, alone and combined with "
+                 "SDC+LP (vs no-prefetch baseline)")
+
+
+def render_preprocessing_study(res) -> str:
+    rows = [[o, _fmt_pct(s), f"{c:8.1f}x"] for o, s, c in
+            zip(res.orderings, res.speedup, res.cost_ratio)]
+    out = table(["ordering", "baseline speedup", "preprocess cost "
+                 "(vs one traversal)"], rows,
+                "§VI study — graph reordering vs SDC+LP")
+    out += (f"\nSDC+LP on the original ordering: "
+            f"{_fmt_pct(res.sdc_lp_original)} (zero preprocessing)")
+    return out
+
+
+def render_context_switch_study(res) -> str:
+    rows = [["never" if i == 0 else f"every {i:,}", _fmt_pct(s)]
+            for i, s in zip(res.intervals, res.speedup_geomean)]
+    return table(["SDC/LP flush", "SDC+LP speedup"], rows,
+                 "§III-E study — context-switch flushing "
+                 "(VIPT = never flush)")
+
+
+def render_energy_study(res) -> str:
+    rows = []
+    for i, w in enumerate(res.workloads):
+        saving = (res.baseline_onchip_mj[i] / res.sdc_lp_onchip_mj[i] - 1
+                  if res.sdc_lp_onchip_mj[i] else 0.0)
+        rows.append([w, f"{res.baseline_epki[i]:.2f}",
+                     f"{res.sdc_lp_epki[i]:.2f}", _fmt_pct(saving)])
+    rows.append(["GEOMEAN", "", "",
+                 _fmt_pct(res.onchip_saving_geomean())])
+    return table(["workload", "base EPKI (uJ)", "SDC+LP EPKI (uJ)",
+                  "on-chip saving"], rows,
+                 "§V-E study — dynamic energy, Baseline vs SDC+LP")
+
+
+def render_table2(rows) -> str:
+    return table(["kernel", "irregData", "style", "frontier", "weighted"],
+                 [[r["name"], r["irreg_elem_bytes"], r["execution_style"],
+                   "Yes" if r["uses_frontier"] else "No",
+                   "Yes" if r["weighted_input"] else "No"] for r in rows],
+                 "Table II — graph kernels")
+
+
+def render_table3(rows) -> str:
+    return table(["graph", "kind", "vertices", "edges",
+                  "paper |V| (M)", "paper |E| (M)"],
+                 [[r["name"], r["kind"], r["vertices"], r["edges"],
+                   r["paper_vertices_m"], r["paper_edges_m"]]
+                  for r in rows],
+                 "Table III — input graphs (scaled surrogates)")

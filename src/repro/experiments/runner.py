@@ -1,0 +1,60 @@
+"""Run workloads under design variants, with caching of expert profiles."""
+
+from __future__ import annotations
+
+from repro.config import SystemConfig, scaled_config
+from repro.core.expert import expert_regions_for
+from repro.core.system import SingleCoreSystem, SystemStats
+from repro.experiments.workloads import (DEFAULT_TIER, DEFAULT_TRACE_LEN,
+                                         Workload, workload_trace)
+from repro.trace.record import Trace
+
+DEFAULT_SCALE = 16
+"""Cache-capacity divisor pairing with the DEFAULT_TIER graphs so that
+the footprint/LLC ratio lands in the paper's regime (DESIGN.md §7)."""
+
+
+def default_config(num_cores: int = 1) -> SystemConfig:
+    return scaled_config(DEFAULT_SCALE, num_cores=num_cores)
+
+
+def run_variant(trace: Trace, variant: str,
+                config: SystemConfig | None = None,
+                record_levels: bool = False,
+                expert_regions: set[int] | None = None) -> SystemStats:
+    """Simulate one trace under one variant."""
+    cfg = config or default_config()
+    if variant == "expert" and expert_regions is None:
+        expert_regions = expert_regions_for(trace, cfg)
+    system = SingleCoreSystem(cfg, variant=variant,
+                              expert_regions=expert_regions)
+    return system.run(trace, record_levels=record_levels)
+
+
+def run_workload(wl: Workload | str, variant: str = "baseline",
+                 config: SystemConfig | None = None,
+                 tier: str = DEFAULT_TIER,
+                 length: int = DEFAULT_TRACE_LEN,
+                 record_levels: bool = False) -> SystemStats:
+    """Trace + simulate one workload under one variant."""
+    trace = workload_trace(wl, tier=tier, length=length)
+    return run_variant(trace, variant, config=config,
+                       record_levels=record_levels)
+
+
+def speedup(baseline: SystemStats, other: SystemStats) -> float:
+    """Relative performance improvement (positive = faster), as the
+    paper reports it: cycles(baseline) / cycles(other) - 1."""
+    if other.cycles == 0:
+        return 0.0
+    return baseline.cycles / other.cycles - 1.0
+
+
+def geomean_speedup(pairs: list[tuple[SystemStats, SystemStats]]) -> float:
+    """Geometric-mean speedup over (baseline, variant) result pairs."""
+    import math
+    if not pairs:
+        return 0.0
+    log_sum = sum(math.log(max(1e-12, b.cycles / max(1e-12, v.cycles)))
+                  for b, v in pairs)
+    return math.exp(log_sum / len(pairs)) - 1.0

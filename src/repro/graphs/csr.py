@@ -1,0 +1,201 @@
+"""CSR/CSC graph representation (paper §II-A, Fig. 1).
+
+A graph is stored as two arrays per direction:
+
+* ``out_oa`` / ``out_na`` — CSR: ``out_na[out_oa[u]:out_oa[u+1]]`` are the
+  outgoing neighbours of vertex ``u``.
+* ``in_oa`` / ``in_na``  — CSC: incoming neighbours, used by pull-style
+  kernels such as PageRank.
+
+Vertex ids are ``int32`` (the GAP default for graphs under 2^31 edges) and
+offsets are ``int64``.  Optional per-edge weights back SSSP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+VERTEX_DTYPE = np.int32
+OFFSET_DTYPE = np.int64
+WEIGHT_DTYPE = np.int32
+
+
+@dataclass
+class CSRGraph:
+    """Immutable directed graph in CSR + CSC form.
+
+    Attributes
+    ----------
+    out_oa, out_na:
+        Offset Array / Neighbors Array of the out-adjacency (CSR).
+    in_oa, in_na:
+        Offset Array / Neighbors Array of the in-adjacency (CSC).
+    out_weights, in_weights:
+        Optional per-edge weights aligned with ``out_na`` / ``in_na``.
+    symmetric:
+        True when the graph was built as undirected (every edge has its
+        reverse), in which case CSR and CSC share the same arrays.
+    """
+
+    out_oa: np.ndarray
+    out_na: np.ndarray
+    in_oa: np.ndarray
+    in_na: np.ndarray
+    out_weights: np.ndarray | None = None
+    in_weights: np.ndarray | None = None
+    symmetric: bool = False
+    name: str = "graph"
+    _out_degrees: np.ndarray | None = field(default=None, repr=False)
+
+    # -- basic properties ------------------------------------------------
+    @property
+    def num_vertices(self) -> int:
+        return len(self.out_oa) - 1
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges (arcs) stored in the CSR."""
+        return len(self.out_na)
+
+    def out_degree(self, u: int) -> int:
+        return int(self.out_oa[u + 1] - self.out_oa[u])
+
+    def in_degree(self, u: int) -> int:
+        return int(self.in_oa[u + 1] - self.in_oa[u])
+
+    def out_degrees(self) -> np.ndarray:
+        if self._out_degrees is None:
+            object.__setattr__(self, "_out_degrees",
+                               np.diff(self.out_oa).astype(VERTEX_DTYPE))
+        return self._out_degrees
+
+    def in_degrees(self) -> np.ndarray:
+        return np.diff(self.in_oa).astype(VERTEX_DTYPE)
+
+    def out_neighbors(self, u: int) -> np.ndarray:
+        return self.out_na[self.out_oa[u]:self.out_oa[u + 1]]
+
+    def in_neighbors(self, u: int) -> np.ndarray:
+        return self.in_na[self.in_oa[u]:self.in_oa[u + 1]]
+
+    def out_edge_weights(self, u: int) -> np.ndarray:
+        if self.out_weights is None:
+            raise ValueError("graph has no weights")
+        return self.out_weights[self.out_oa[u]:self.out_oa[u + 1]]
+
+    # -- validation ------------------------------------------------------
+    def validate(self) -> None:
+        """Check all structural invariants; raises ``ValueError`` if broken."""
+        n = self.num_vertices
+        for oa, na, side in ((self.out_oa, self.out_na, "out"),
+                             (self.in_oa, self.in_na, "in")):
+            if oa[0] != 0 or oa[-1] != len(na):
+                raise ValueError(f"{side}: OA endpoints inconsistent with NA")
+            if np.any(np.diff(oa) < 0):
+                raise ValueError(f"{side}: OA is not monotonically "
+                                 f"non-decreasing")
+            if len(na) and (na.min() < 0 or na.max() >= n):
+                raise ValueError(f"{side}: NA contains out-of-range vertex")
+        if len(self.out_na) != len(self.in_na):
+            raise ValueError("CSR and CSC edge counts differ")
+        if self.out_weights is not None and \
+                len(self.out_weights) != len(self.out_na):
+            raise ValueError("out_weights length mismatch")
+        if self.in_weights is not None and \
+                len(self.in_weights) != len(self.in_na):
+            raise ValueError("in_weights length mismatch")
+
+    # -- conversions -----------------------------------------------------
+    def transpose(self) -> "CSRGraph":
+        """Return the transpose graph (swap CSR and CSC)."""
+        return CSRGraph(
+            out_oa=self.in_oa, out_na=self.in_na,
+            in_oa=self.out_oa, in_na=self.out_na,
+            out_weights=self.in_weights, in_weights=self.out_weights,
+            symmetric=self.symmetric, name=self.name + ".T")
+
+    def to_scipy(self):
+        """Return the adjacency matrix as ``scipy.sparse.csr_matrix``."""
+        from scipy.sparse import csr_matrix
+        data = (self.out_weights if self.out_weights is not None
+                else np.ones(self.num_edges, dtype=np.int8))
+        return csr_matrix((data, self.out_na, self.out_oa),
+                          shape=(self.num_vertices, self.num_vertices))
+
+
+def _compress(sources: np.ndarray, dests: np.ndarray, n: int,
+              weights: np.ndarray | None):
+    """Build (OA, NA[, W]) sorted by source then destination."""
+    order = np.lexsort((dests, sources))
+    s, d = sources[order], dests[order]
+    w = weights[order] if weights is not None else None
+    counts = np.bincount(s, minlength=n).astype(OFFSET_DTYPE)
+    oa = np.zeros(n + 1, dtype=OFFSET_DTYPE)
+    np.cumsum(counts, out=oa[1:])
+    return oa, d.astype(VERTEX_DTYPE), w
+
+
+def from_edges(edges: np.ndarray, num_vertices: int | None = None,
+               weights: np.ndarray | None = None,
+               symmetrize: bool = False, dedup: bool = True,
+               name: str = "graph") -> CSRGraph:
+    """Build a :class:`CSRGraph` from an ``(m, 2)`` edge array.
+
+    Parameters
+    ----------
+    edges:
+        Integer array of shape ``(m, 2)``; row ``(u, v)`` is the directed
+        edge ``u -> v``.
+    num_vertices:
+        Vertex count; inferred as ``edges.max() + 1`` when omitted.
+    weights:
+        Optional per-edge weights (same length as ``edges``).
+    symmetrize:
+        Add the reverse of every edge (GAP's undirected-graph loading).
+    dedup:
+        Remove duplicate edges and self-loops (GAP's default cleanup).
+    """
+    edges = np.asarray(edges, dtype=np.int64)
+    if edges.ndim != 2 or edges.shape[1] != 2:
+        raise ValueError("edges must have shape (m, 2)")
+    if num_vertices is None:
+        num_vertices = int(edges.max()) + 1 if len(edges) else 0
+    src, dst = edges[:, 0].copy(), edges[:, 1].copy()
+    w = None if weights is None else np.asarray(weights, dtype=WEIGHT_DTYPE)
+
+    if symmetrize:
+        src, dst = np.concatenate([src, dst]), np.concatenate([dst, src])
+        if w is not None:
+            w = np.concatenate([w, w])
+
+    if dedup:
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+        if w is not None:
+            w = w[keep]
+        key = src * num_vertices + dst
+        _, idx = np.unique(key, return_index=True)
+        src, dst = src[idx], dst[idx]
+        if w is not None:
+            w = w[idx]
+
+    out_oa, out_na, out_w = _compress(src, dst, num_vertices, w)
+    if symmetrize:
+        in_oa, in_na, in_w = out_oa, out_na, out_w
+    else:
+        in_oa, in_na, in_w = _compress(dst, src, num_vertices, w)
+
+    g = CSRGraph(out_oa=out_oa, out_na=out_na, in_oa=in_oa, in_na=in_na,
+                 out_weights=out_w, in_weights=in_w,
+                 symmetric=symmetrize, name=name)
+    g.validate()
+    return g
+
+
+def build_graph(edges, num_vertices=None, **kwargs) -> CSRGraph:
+    """Convenience alias for :func:`from_edges` accepting lists of pairs."""
+    return from_edges(np.asarray(list(edges) if not isinstance(edges, np.ndarray)
+                                 else edges),
+                      num_vertices=num_vertices, **kwargs)

@@ -1,0 +1,140 @@
+"""Synthetic graph generators standing in for the paper's inputs.
+
+The paper's Table III graphs (Web, Road, Twitter, Kron, Urand,
+Friendster) are multi-gigabyte real or Graph500 datasets.  Per DESIGN.md
+substitution #2 we generate scaled surrogates with the same
+degree-distribution class:
+
+* :func:`kronecker_graph` — R-MAT/Kronecker power-law graphs (Kron, and
+  with different seed parameters the Twitter/Web/Friendster surrogates).
+* :func:`uniform_random_graph` — Erdős–Rényi-style uniform graphs (Urand).
+* :func:`grid_road_graph` — 2-D grid with diagonal shortcuts; a bounded-
+  degree, high-diameter planar-ish network (Road).
+* :func:`power_law_graph` — explicit Chung-Lu style power-law sampler used
+  by tests to control the exponent directly.
+
+All generators are deterministic in ``seed``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph, from_edges
+
+
+def _rng(seed: int) -> np.random.Generator:
+    return np.random.default_rng(seed)
+
+
+def kronecker_graph(scale: int, edge_factor: int = 16,
+                    a: float = 0.57, b: float = 0.19, c: float = 0.19,
+                    seed: int = 1, symmetrize: bool = True,
+                    weighted: bool = False, name: str | None = None
+                    ) -> CSRGraph:
+    """R-MAT / stochastic-Kronecker generator (Graph500 parameters).
+
+    Parameters mirror Graph500: ``2**scale`` vertices, ``edge_factor``
+    edges per vertex, and the (a, b, c, d) recursive partition
+    probabilities with ``d = 1 - a - b - c``.  The default (0.57, 0.19,
+    0.19) yields the heavy-tailed power-law degree distribution of the
+    paper's Kron input.
+    """
+    n = 1 << scale
+    m = n * edge_factor
+    rng = _rng(seed)
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    ab, abc = a + b, a + b + c
+    # Vectorized R-MAT: one uniform draw per level picks the quadrant
+    # (a: 00, b: 01, c: 10, d: 11) for every edge at once.
+    for level in range(scale):
+        bit = 1 << (scale - 1 - level)
+        r = rng.random(m)
+        src_bit = r >= ab
+        dst_bit = np.where(src_bit, r >= abc, r >= a)
+        src += bit * src_bit
+        dst += bit * dst_bit
+    # Permute vertex ids so degree is not correlated with id (GAP does
+    # the same for Kron inputs).
+    perm = rng.permutation(n)
+    src, dst = perm[src], perm[dst]
+    w = rng.integers(1, 256, size=m).astype(np.int32) if weighted else None
+    return from_edges(np.column_stack([src, dst]), num_vertices=n,
+                      weights=w, symmetrize=symmetrize,
+                      name=name or f"kron{scale}")
+
+
+def uniform_random_graph(num_vertices: int, edge_factor: int = 16,
+                         seed: int = 2, symmetrize: bool = True,
+                         weighted: bool = False, name: str | None = None
+                         ) -> CSRGraph:
+    """Uniform-random (Erdős–Rényi style) graph: the Urand surrogate.
+
+    Every endpoint is drawn uniformly, producing a binomial degree
+    distribution with essentially no high-degree hubs and therefore no
+    natural reuse hot set — the paper's worst-locality input class.
+    """
+    m = num_vertices * edge_factor
+    rng = _rng(seed)
+    src = rng.integers(0, num_vertices, size=m)
+    dst = rng.integers(0, num_vertices, size=m)
+    w = rng.integers(1, 256, size=m).astype(np.int32) if weighted else None
+    return from_edges(np.column_stack([src, dst]), num_vertices=num_vertices,
+                      weights=w, symmetrize=symmetrize,
+                      name=name or f"urand{num_vertices}")
+
+
+def grid_road_graph(side: int, diagonal_fraction: float = 0.05,
+                    seed: int = 3, weighted: bool = True,
+                    name: str | None = None) -> CSRGraph:
+    """2-D grid with sparse random shortcuts: the Road surrogate.
+
+    Road networks have near-constant small degree and enormous diameter.
+    A ``side x side`` grid reproduces both properties; a small fraction
+    of random "highway" shortcuts keeps the diameter finite so Δ-stepping
+    and BFS terminate in a reasonable number of rounds.
+    """
+    n = side * side
+    ids = np.arange(n).reshape(side, side)
+    right = np.column_stack([ids[:, :-1].ravel(), ids[:, 1:].ravel()])
+    down = np.column_stack([ids[:-1, :].ravel(), ids[1:, :].ravel()])
+    edges = np.vstack([right, down])
+    rng = _rng(seed)
+    n_short = int(len(edges) * diagonal_fraction)
+    if n_short:
+        shortcuts = rng.integers(0, n, size=(n_short, 2))
+        edges = np.vstack([edges, shortcuts])
+    w = rng.integers(1, 256, size=len(edges)).astype(np.int32) \
+        if weighted else None
+    return from_edges(edges, num_vertices=n, weights=w, symmetrize=True,
+                      name=name or f"road{side}x{side}")
+
+
+def power_law_graph(num_vertices: int, edge_factor: int = 16,
+                    exponent: float = 2.1, seed: int = 4,
+                    symmetrize: bool = False, weighted: bool = False,
+                    name: str | None = None) -> CSRGraph:
+    """Chung-Lu style power-law graph with explicit exponent.
+
+    Endpoint ``i`` is sampled with probability proportional to
+    ``(i + 1) ** (-1/(exponent - 1))`` — the expected degree sequence of a
+    power law with the given exponent.  Used for the Web/Twitter
+    surrogates where the paper's inputs are crawls with known heavy
+    tails, and by tests that need to steer the skew directly.
+    """
+    m = num_vertices * edge_factor
+    rng = _rng(seed)
+    weights_seq = (np.arange(1, num_vertices + 1, dtype=np.float64)
+                   ** (-1.0 / (exponent - 1.0)))
+    probs = weights_seq / weights_seq.sum()
+    cdf = np.cumsum(probs)
+    src = np.searchsorted(cdf, rng.random(m))
+    dst = np.searchsorted(cdf, rng.random(m))
+    # Scatter ids so hot vertices are not contiguous in memory.
+    perm = rng.permutation(num_vertices)
+    src, dst = perm[src], perm[dst]
+    w = rng.integers(1, 256, size=m).astype(np.int32) if weighted else None
+    return from_edges(np.column_stack([src, dst]), num_vertices=num_vertices,
+                      weights=w, symmetrize=symmetrize,
+                      name=name or f"plaw{num_vertices}")

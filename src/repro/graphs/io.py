@@ -1,0 +1,86 @@
+"""Graph file I/O: GAP-compatible edge-list formats plus a binary cache.
+
+Formats:
+
+* ``.el``  — whitespace-separated ``src dst`` per line (GAP's plain
+  edge list); ``#`` comment lines ignored.
+* ``.wel`` — ``src dst weight`` per line (GAP's weighted edge list).
+* ``.npz`` — this package's binary CSR container (fast reload).
+
+These let the suite run on real datasets (SNAP dumps etc.) when
+available, instead of the synthetic surrogates.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph, from_edges
+
+
+def load_edgelist(path, symmetrize: bool = False,
+                  num_vertices: int | None = None) -> CSRGraph:
+    """Load a ``.el`` or ``.wel`` edge list (by extension)."""
+    path = Path(path)
+    weighted = path.suffix == ".wel"
+    cols = 3 if weighted else 2
+    data = np.loadtxt(path, dtype=np.int64, comments="#", ndmin=2)
+    if data.size == 0:
+        data = np.empty((0, cols), dtype=np.int64)
+    if data.shape[1] < cols:
+        raise ValueError(f"{path.name}: expected {cols} columns, "
+                         f"got {data.shape[1]}")
+    edges = data[:, :2]
+    weights = data[:, 2].astype(np.int32) if weighted else None
+    return from_edges(edges, num_vertices=num_vertices, weights=weights,
+                      symmetrize=symmetrize, name=path.stem)
+
+
+def save_edgelist(graph: CSRGraph, path) -> Path:
+    """Write the out-edges as ``.el`` / ``.wel`` (by extension)."""
+    path = Path(path)
+    src = np.repeat(np.arange(graph.num_vertices, dtype=np.int64),
+                    np.diff(graph.out_oa))
+    dst = graph.out_na.astype(np.int64)
+    if path.suffix == ".wel":
+        if graph.out_weights is None:
+            raise ValueError(".wel requires a weighted graph")
+        cols = np.column_stack([src, dst,
+                                graph.out_weights.astype(np.int64)])
+        np.savetxt(path, cols, fmt="%d")
+    else:
+        np.savetxt(path, np.column_stack([src, dst]), fmt="%d")
+    return path
+
+
+def save_binary(graph: CSRGraph, path) -> Path:
+    """Save the CSR/CSC arrays as a compressed ``.npz`` container."""
+    path = Path(path)
+    payload = {
+        "out_oa": graph.out_oa, "out_na": graph.out_na,
+        "in_oa": graph.in_oa, "in_na": graph.in_na,
+        "symmetric": np.array([graph.symmetric]),
+        "name": np.array([graph.name]),
+    }
+    if graph.out_weights is not None:
+        payload["out_weights"] = graph.out_weights
+    if graph.in_weights is not None:
+        payload["in_weights"] = graph.in_weights
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_binary(path) -> CSRGraph:
+    """Reload a graph saved by :func:`save_binary`."""
+    with np.load(path, allow_pickle=False) as z:
+        graph = CSRGraph(
+            out_oa=z["out_oa"], out_na=z["out_na"],
+            in_oa=z["in_oa"], in_na=z["in_na"],
+            out_weights=z["out_weights"] if "out_weights" in z else None,
+            in_weights=z["in_weights"] if "in_weights" in z else None,
+            symmetric=bool(z["symmetric"][0]),
+            name=str(z["name"][0]))
+    graph.validate()
+    return graph

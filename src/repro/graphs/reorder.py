@@ -1,0 +1,160 @@
+"""Graph reordering (pre-processing) algorithms — §VI *Pre-Processing*.
+
+The paper positions SDC+LP against locality-improving reordering
+schemes ([7] Rabbit order, [14] Cuthill-McKee, [45] Gorder): effective,
+but "orders of magnitude more expensive compared to the runtime of a
+single traversal".  This module implements the classic members of that
+family so the claim can be measured:
+
+* :func:`degree_sort_order` — hub clustering: relabel by descending
+  degree so high-reuse hub property elements share cache lines;
+* :func:`rcm_order` — (reverse) Cuthill-McKee: BFS from a peripheral
+  vertex, expanding neighbours in degree order, reversed — the
+  bandwidth-minimizing ordering;
+* :func:`bfs_order` — plain BFS relabeling (cheapest locality order);
+* :func:`random_order` — locality destructor (lower-bound control).
+
+:func:`estimated_cost` reports each ordering's preprocessing cost in
+memory touches, comparable against the traversal trace lengths of
+``repro.trace.kernels``.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph, from_edges
+
+
+def apply_order(graph: CSRGraph, order: np.ndarray,
+                name_suffix: str = "reordered") -> CSRGraph:
+    """Relabel vertices so old vertex ``order[i]`` becomes new vertex
+    ``i``; returns a new graph (weights preserved)."""
+    n = graph.num_vertices
+    order = np.asarray(order, dtype=np.int64)
+    if len(order) != n or len(np.unique(order)) != n:
+        raise ValueError("order must be a permutation of all vertices")
+    new_id = np.empty(n, dtype=np.int64)
+    new_id[order] = np.arange(n)
+    src = np.repeat(np.arange(n, dtype=np.int64),
+                    np.diff(graph.out_oa))
+    dst = graph.out_na.astype(np.int64)
+    edges = np.column_stack([new_id[src], new_id[dst]])
+    return from_edges(edges, num_vertices=n, weights=graph.out_weights,
+                      symmetrize=False, dedup=False,
+                      name=f"{graph.name}.{name_suffix}")
+
+
+def degree_sort_order(graph: CSRGraph) -> np.ndarray:
+    """Vertices by descending (out+in) degree; ties by id."""
+    deg = graph.out_degrees().astype(np.int64) + \
+        graph.in_degrees().astype(np.int64)
+    return np.lexsort((np.arange(graph.num_vertices), -deg))
+
+
+def bfs_order(graph: CSRGraph, source: int | None = None) -> np.ndarray:
+    """BFS visitation order over the undirected view; unreached vertices
+    appended in id order."""
+    n = graph.num_vertices
+    if source is None:
+        deg = graph.out_degrees()
+        source = int(np.argmax(deg)) if n else 0
+    seen = np.zeros(n, dtype=bool)
+    order = []
+    queue = deque([source])
+    seen[source] = True
+    while queue:
+        u = queue.popleft()
+        order.append(u)
+        for v in _undirected_neighbors(graph, u):
+            if not seen[v]:
+                seen[v] = True
+                queue.append(v)
+    order.extend(np.flatnonzero(~seen).tolist())
+    return np.asarray(order, dtype=np.int64)
+
+
+def rcm_order(graph: CSRGraph) -> np.ndarray:
+    """Reverse Cuthill-McKee over the undirected view.
+
+    Components are processed from pseudo-peripheral (minimum-degree)
+    start vertices; within the BFS, neighbours expand in increasing
+    degree order; the concatenated order is reversed.
+    """
+    n = graph.num_vertices
+    deg = (graph.out_degrees().astype(np.int64)
+           + graph.in_degrees().astype(np.int64))
+    seen = np.zeros(n, dtype=bool)
+    order: list[int] = []
+    # Seed candidates in increasing-degree order (classic heuristic).
+    for start in np.argsort(deg, kind="stable"):
+        start = int(start)
+        if seen[start]:
+            continue
+        seen[start] = True
+        queue = deque([start])
+        while queue:
+            u = queue.popleft()
+            order.append(u)
+            neigh = _undirected_neighbors(graph, u)
+            neigh = neigh[~seen[neigh]]
+            if len(neigh):
+                neigh = neigh[np.argsort(deg[neigh], kind="stable")]
+                seen[neigh] = True
+                queue.extend(neigh.tolist())
+    return np.asarray(order[::-1], dtype=np.int64)
+
+
+def random_order(graph: CSRGraph, seed: int = 0) -> np.ndarray:
+    return np.random.default_rng(seed).permutation(graph.num_vertices)
+
+
+def _undirected_neighbors(graph: CSRGraph, u: int) -> np.ndarray:
+    out = graph.out_neighbors(u).astype(np.int64)
+    if graph.symmetric:
+        return out
+    inn = graph.in_neighbors(u).astype(np.int64)
+    return np.unique(np.concatenate([out, inn]))
+
+
+ORDERINGS = {
+    "original": lambda g: np.arange(g.num_vertices, dtype=np.int64),
+    "random": random_order,
+    "degree": degree_sort_order,
+    "bfs": bfs_order,
+    "rcm": rcm_order,
+}
+
+
+def estimated_cost(name: str, graph: CSRGraph) -> int:
+    """Preprocessing cost in memory touches (documented formulas).
+
+    * ``degree``: one degree read per vertex + an O(n log n) sort.
+    * ``bfs``: one full traversal (n + m touches).
+    * ``rcm``: a full traversal plus a per-vertex neighbour sort —
+      n + m + Σ d log d, the dominant term Rabbit/Gorder papers report
+      as orders-of-magnitude above a single traversal once performed
+      over multi-pass refinement; RCM is the *cheap* end of the family.
+    * ``random``/``original``: permutation generation only (n).
+
+    All orderings additionally pay the graph *rebuild*: 2m edge writes
+    plus an O(m log m) sort — the dominant cost at scale, included here.
+    """
+    n, m = graph.num_vertices, graph.num_edges
+    rebuild = 2 * m + int(m * max(1.0, math.log2(max(m, 2))))
+    if name in ("original",):
+        return 0
+    if name == "random":
+        return n + rebuild
+    if name == "degree":
+        return n + int(n * max(1.0, math.log2(max(n, 2)))) + rebuild
+    if name == "bfs":
+        return n + m + rebuild
+    if name == "rcm":
+        deg = np.diff(graph.out_oa).astype(np.float64)
+        sort_cost = int(np.sum(deg * np.log2(np.maximum(deg, 2))))
+        return n + m + sort_cost + rebuild
+    raise ValueError(f"unknown ordering {name!r}")

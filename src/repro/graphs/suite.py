@@ -1,0 +1,103 @@
+"""The six-input graph suite standing in for the paper's Table III.
+
+Each :class:`GraphSpec` names a surrogate generator plus its parameters
+at a chosen size tier.  Paper Table III lists 23.9M–134.2M vertices; our
+default tier ("small") is ~3 orders of magnitude smaller, matched by the
+scaled cache configuration (see ``repro.config.scaled_config`` and
+DESIGN.md substitution #2).  Graphs are memoized per process so the 36
+workloads share the 6 graph builds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Callable
+
+from repro.graphs.csr import CSRGraph
+from repro.graphs import generators as gen
+
+# Size tiers: multiplier applied to the base vertex counts below.
+SIZE_TIERS = {"tiny": 0.25, "small": 1.0, "medium": 4.0, "large": 16.0}
+
+
+@dataclass(frozen=True)
+class GraphSpec:
+    """A named input graph of the evaluation suite."""
+
+    name: str
+    kind: str                 # degree-distribution class (documentation)
+    builder: Callable[[float, bool], CSRGraph]
+    paper_vertices_m: float   # Table III, for reporting
+    paper_edges_m: float
+
+    def build(self, tier: str = "small", weighted: bool = False) -> CSRGraph:
+        if tier not in SIZE_TIERS:
+            raise ValueError(f"unknown size tier {tier!r}; "
+                             f"choose from {sorted(SIZE_TIERS)}")
+        g = self.builder(SIZE_TIERS[tier], weighted)
+        return g
+
+
+def _web(mult: float, weighted: bool) -> CSRGraph:
+    # Web crawls: strong power law, locally clustered. Directed.
+    return gen.power_law_graph(int(24576 * mult), edge_factor=20,
+                               exponent=2.0, seed=11, symmetrize=False,
+                               weighted=weighted, name="web")
+
+
+def _road(mult: float, weighted: bool) -> CSRGraph:
+    side = max(8, int(160 * mult ** 0.5))
+    return gen.grid_road_graph(side, diagonal_fraction=0.03, seed=13,
+                               weighted=True, name="road")
+
+
+def _twitter(mult: float, weighted: bool) -> CSRGraph:
+    return gen.power_law_graph(int(28672 * mult), edge_factor=24,
+                               exponent=1.9, seed=17, symmetrize=False,
+                               weighted=weighted, name="twitter")
+
+
+def _kron(mult: float, weighted: bool) -> CSRGraph:
+    scale = 15 + max(0, round(mult).bit_length() - 1)
+    return gen.kronecker_graph(scale, edge_factor=16, seed=19,
+                               symmetrize=True, weighted=weighted,
+                               name="kron")
+
+
+def _urand(mult: float, weighted: bool) -> CSRGraph:
+    return gen.uniform_random_graph(int(32768 * mult), edge_factor=16,
+                                    seed=23, symmetrize=True,
+                                    weighted=weighted, name="urand")
+
+
+def _friendster(mult: float, weighted: bool) -> CSRGraph:
+    # Friendster: the largest, a social network — heavy tail, undirected.
+    return gen.power_law_graph(int(32768 * mult), edge_factor=28,
+                               exponent=2.2, seed=29, symmetrize=True,
+                               weighted=weighted, name="friendster")
+
+
+GRAPH_SUITE: dict[str, GraphSpec] = {
+    "web": GraphSpec("web", "power-law (directed crawl)", _web,
+                     50.6, 1949.4),
+    "road": GraphSpec("road", "bounded-degree mesh", _road, 23.9, 58.3),
+    "twitter": GraphSpec("twitter", "power-law (social)", _twitter,
+                         61.6, 1468.4),
+    "kron": GraphSpec("kron", "Kronecker power-law", _kron, 134.2, 2111.6),
+    "urand": GraphSpec("urand", "uniform random", _urand, 134.2, 2147.4),
+    "friendster": GraphSpec("friendster", "power-law (social, largest)",
+                            _friendster, 65.6, 3612.1),
+}
+
+
+@lru_cache(maxsize=32)
+def load_graph(name: str, tier: str = "small",
+               weighted: bool = False) -> CSRGraph:
+    """Build (or fetch from the per-process cache) a suite graph."""
+    try:
+        spec = GRAPH_SUITE[name]
+    except KeyError:
+        raise ValueError(f"unknown graph {name!r}; "
+                         f"choose from {sorted(GRAPH_SUITE)}") from None
+    return spec.build(tier, weighted)

@@ -1,0 +1,28 @@
+"""Reference implementations of the six GAP kernels (paper §IV-B).
+
+These are the *functional* kernels: correct, vectorized where possible,
+used to validate the instrumented trace-generating versions in
+``repro.trace.kernels`` and by the examples.  Table II properties
+(execution style, frontier use, irregular element size) are recorded in
+:data:`KERNEL_TABLE`.
+"""
+
+from repro.kernels.bfs import bfs
+from repro.kernels.pagerank import pagerank
+from repro.kernels.cc import connected_components
+from repro.kernels.bc import betweenness_centrality
+from repro.kernels.tc import triangle_count
+from repro.kernels.sssp import sssp
+from repro.kernels.common import KERNEL_TABLE, KernelInfo, run_kernel
+
+__all__ = [
+    "bfs",
+    "pagerank",
+    "connected_components",
+    "betweenness_centrality",
+    "triangle_count",
+    "sssp",
+    "KERNEL_TABLE",
+    "KernelInfo",
+    "run_kernel",
+]

@@ -1,0 +1,61 @@
+"""Kernel registry and Table II metadata."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.graphs.csr import CSRGraph
+
+
+@dataclass(frozen=True)
+class KernelInfo:
+    """Per-kernel characteristics (paper Table II)."""
+
+    name: str
+    irreg_elem_bytes: str     # size of the irregularly-accessed elements
+    execution_style: str      # push / pull / both
+    uses_frontier: bool
+    weighted_input: bool      # SSSP needs edge weights
+
+
+KERNEL_TABLE: dict[str, KernelInfo] = {
+    "bc": KernelInfo("bc", "8B + 4B", "Push-Mostly", True, False),
+    "bfs": KernelInfo("bfs", "4B", "Push & Pull", True, False),
+    "cc": KernelInfo("cc", "4B", "Push-Mostly", False, False),
+    "pr": KernelInfo("pr", "4B", "Pull-Only", False, False),
+    "tc": KernelInfo("tc", "4B", "Push-Only", False, False),
+    "sssp": KernelInfo("sssp", "4B", "Push-Only", True, True),
+}
+
+
+def run_kernel(name: str, graph: CSRGraph, **kwargs: Any):
+    """Dispatch to a reference kernel by its GAP short name."""
+    from repro.kernels import (bfs, betweenness_centrality,
+                               connected_components, pagerank, sssp,
+                               triangle_count)
+    dispatch: dict[str, Callable] = {
+        "bfs": bfs,
+        "pr": pagerank,
+        "cc": connected_components,
+        "bc": betweenness_centrality,
+        "tc": triangle_count,
+        "sssp": sssp,
+    }
+    try:
+        fn = dispatch[name]
+    except KeyError:
+        raise ValueError(f"unknown kernel {name!r}; "
+                         f"choose from {sorted(dispatch)}") from None
+    return fn(graph, **kwargs)
+
+
+def pick_source(graph: CSRGraph, seed: int = 0) -> int:
+    """GAP-style source selection: a random vertex with out-degree > 0."""
+    import numpy as np
+    rng = np.random.default_rng(seed)
+    degs = graph.out_degrees()
+    candidates = np.flatnonzero(degs > 0)
+    if len(candidates) == 0:
+        return 0
+    return int(candidates[rng.integers(len(candidates))])

@@ -1,0 +1,76 @@
+"""Single-Source Shortest Paths via Δ-stepping (Meyer & Sanders, GAP `sssp`).
+
+Vertices are kept in distance buckets of width Δ; each round settles the
+lowest non-empty bucket, relaxing *light* edges (weight < Δ) repeatedly
+within the bucket and *heavy* edges once when the bucket empties.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+INF = np.int64(np.iinfo(np.int64).max // 4)
+
+
+def sssp(graph: CSRGraph, source: int = 0, delta: int | None = None
+         ) -> np.ndarray:
+    """Return shortest distances from ``source``; ``INF`` = unreachable."""
+    if graph.out_weights is None:
+        raise ValueError("SSSP requires a weighted graph "
+                         "(build with weighted=True)")
+    n = graph.num_vertices
+    if not 0 <= source < n:
+        raise ValueError(f"source {source} out of range")
+    oa, na, w = graph.out_oa, graph.out_na, graph.out_weights
+    if delta is None:
+        # GAP default heuristic: average weight works well for uniform
+        # weights in [1, 256).
+        delta = max(1, int(w.mean())) if len(w) else 1
+
+    dist = np.full(n, INF, dtype=np.int64)
+    dist[source] = 0
+    buckets: dict[int, set[int]] = {0: {source}}
+    current = 0
+    max_bucket = 0
+
+    while buckets:
+        while current not in buckets and current <= max_bucket:
+            current += 1
+        if current > max_bucket:
+            break
+        deferred_heavy: list[int] = []
+        # Repeatedly settle the current bucket (light-edge relaxations may
+        # re-insert vertices into it).
+        while buckets.get(current):
+            frontier = buckets.pop(current)
+            deferred_heavy.extend(frontier)
+            for u in frontier:
+                du = dist[u]
+                if du >= (current + 1) * delta:
+                    continue   # moved to a later bucket since insertion
+                for i in range(oa[u], oa[u + 1]):
+                    if w[i] < delta:
+                        _relax(dist, buckets, int(na[i]), du + int(w[i]),
+                               delta)
+            max_bucket = max(max_bucket, max(buckets, default=0))
+        for u in deferred_heavy:
+            du = dist[u]
+            for i in range(oa[u], oa[u + 1]):
+                if w[i] >= delta:
+                    _relax(dist, buckets, int(na[i]), du + int(w[i]), delta)
+        max_bucket = max(max_bucket, max(buckets, default=0))
+        current += 1
+    return dist
+
+
+def _relax(dist: np.ndarray, buckets: dict[int, set[int]], v: int,
+           cand: int, delta: int) -> None:
+    if cand < dist[v]:
+        old_b = int(dist[v] // delta) if dist[v] < INF else -1
+        new_b = cand // delta
+        if old_b >= 0 and old_b in buckets:
+            buckets[old_b].discard(v)
+        dist[v] = cand
+        buckets.setdefault(new_b, set()).add(v)

@@ -1,0 +1,65 @@
+"""Triangle Counting (GAP `tc`).
+
+Counts each triangle once using the standard degree-ordered direction:
+orient every undirected edge from the lower-ranked to the higher-ranked
+endpoint (rank = (degree, id)), then sum the sizes of sorted-adjacency
+intersections.  Push-only, no frontier (Table II).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+
+def triangle_count(graph: CSRGraph) -> int:
+    """Return the number of triangles in the undirected view of ``graph``."""
+    n = graph.num_vertices
+    if n == 0 or graph.num_edges == 0:
+        return 0
+    # Undirected neighbour sets (dedup union of in/out).
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(graph.out_oa))
+    dst = graph.out_na.astype(np.int64)
+    if not graph.symmetric:
+        src, dst = (np.concatenate([src, dst]),
+                    np.concatenate([dst, src]))
+        key = src * n + dst
+        _, idx = np.unique(key, return_index=True)
+        src, dst = src[idx], dst[idx]
+
+    deg = np.bincount(src, minlength=n)
+    rank = np.lexsort((np.arange(n), deg))   # position -> vertex
+    rank_of = np.empty(n, dtype=np.int64)
+    rank_of[rank] = np.arange(n)
+
+    # Keep only edges oriented toward higher rank; this halves the work
+    # and guarantees each triangle is counted exactly once.
+    keep = rank_of[src] < rank_of[dst]
+    src, dst = src[keep], dst[keep]
+    order = np.lexsort((dst, src))
+    src, dst = src[order], dst[order]
+    starts = np.searchsorted(src, np.arange(n))
+    ends = np.searchsorted(src, np.arange(n) + 1)
+
+    adj = [dst[starts[u]:ends[u]] for u in range(n)]
+    total = 0
+    for u in range(n):
+        au = adj[u]
+        for v in au:
+            av = adj[int(v)]
+            if len(av):
+                # Sorted-list intersection size.
+                total += _intersect_size(au, av)
+    return total
+
+
+def _intersect_size(a: np.ndarray, b: np.ndarray) -> int:
+    """Size of the intersection of two sorted int arrays."""
+    if len(a) > len(b):
+        a, b = b, a
+    if len(a) == 0:
+        return 0
+    idx = np.searchsorted(b, a)
+    idx[idx == len(b)] = len(b) - 1
+    return int(np.count_nonzero(b[idx] == a))

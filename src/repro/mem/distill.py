@@ -1,0 +1,113 @@
+"""Distill Cache baseline (Qureshi et al., HPCA'07 "Line Distillation").
+
+The LLC is split into a Line-Organized Cache (LOC) holding whole blocks
+and a Word-Organized Cache (WOC) holding individual words.  While a line
+is LOC-resident its per-word usage is tracked; on eviction, only the
+words that were actually touched are *distilled* into the WOC.  A later
+access that misses the LOC but finds its word in the WOC is served
+without a DRAM trip.
+
+The class is interface-compatible with
+:class:`repro.mem.cache.SetAssocCache` so :class:`MemoryHierarchy`
+can mount it as the LLC; ``aux`` carries the word index of the access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+
+from repro.config import CacheConfig
+from repro.mem.cache import CacheStats, SetAssocCache
+
+WORDS_PER_BLOCK = 8    # 64 B block / 8 B words (as the HPCA'07 design)
+
+
+class DistillCache:
+    """LOC + WOC split cache."""
+
+    def __init__(self, config: CacheConfig, woc_ways: int = 2):
+        if not 0 < woc_ways < config.ways:
+            raise ValueError("woc_ways must leave at least one LOC way")
+        loc_size = config.size_bytes * (config.ways - woc_ways) // config.ways
+        self.loc = SetAssocCache(dc_replace(
+            config, size_bytes=loc_size, ways=config.ways - woc_ways,
+            replacement="lru"))
+        self.num_sets = self.loc.num_sets
+        self.latency = config.latency
+        self.config = config
+        # WOC: per set, an LRU dict of (block, word) -> last_use; capacity
+        # woc_ways lines' worth of words.
+        self.woc_capacity = woc_ways * WORDS_PER_BLOCK
+        self.woc: list[dict[tuple[int, int], int]] = [
+            dict() for _ in range(self.num_sets)]
+        self._clock = 0
+        self.stats = CacheStats()
+        self.woc_hits = 0
+        self.usage: dict[int, int] = {}       # LOC-resident block -> bitmap
+
+    # -- interface ----------------------------------------------------------
+    def contains(self, block: int) -> bool:
+        return self.loc.contains(block)
+
+    def access(self, block: int, write: bool, aux=None) -> bool:
+        self.stats.accesses += 1
+        word = int(aux) % WORDS_PER_BLOCK if aux is not None else 0
+        if self.loc.access(block, write):
+            self.stats.hits += 1
+            self.usage[block] = self.usage.get(block, 0) | (1 << word)
+            return True
+        # WOC probe: only the requested word needs to be present.
+        wset = self.woc[block % self.num_sets]
+        key = (block, word)
+        if key in wset:
+            self._clock += 1
+            wset[key] = self._clock
+            self.stats.hits += 1
+            self.woc_hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def fill(self, block: int, dirty: bool = False, prefetch: bool = False,
+             aux=None) -> tuple[int, bool] | None:
+        word = int(aux) % WORDS_PER_BLOCK if aux is not None else 0
+        evicted = self.loc.fill(block, dirty=dirty, prefetch=prefetch)
+        self.usage[block] = self.usage.get(block, 0) | (1 << word)
+        if evicted is None:
+            return None
+        ev_block, ev_dirty = evicted
+        self._distill(ev_block)
+        self.stats.evictions += 1
+        if ev_dirty:
+            self.stats.writebacks += 1
+        return evicted
+
+    def _distill(self, block: int) -> None:
+        """Move the used words of an evicted line into the WOC."""
+        bitmap = self.usage.pop(block, 0)
+        if bitmap == 0:
+            return
+        wset = self.woc[block % self.num_sets]
+        for word in range(WORDS_PER_BLOCK):
+            if bitmap & (1 << word):
+                self._clock += 1
+                wset[(block, word)] = self._clock
+        while len(wset) > self.woc_capacity:
+            oldest = min(wset, key=wset.get)
+            del wset[oldest]
+
+    def mark_dirty(self, block: int) -> bool:
+        return self.loc.mark_dirty(block)
+
+    def invalidate(self, block: int) -> tuple[bool, bool]:
+        self.usage.pop(block, None)
+        wset = self.woc[block % self.num_sets]
+        for key in [k for k in wset if k[0] == block]:
+            del wset[key]
+        return self.loc.invalidate(block)
+
+    def flush(self) -> None:
+        self.loc.flush()
+        for w in self.woc:
+            w.clear()
+        self.usage.clear()

@@ -1,0 +1,78 @@
+"""DRAM model: per-bank open-row tracking with Table I DDR4 timings.
+
+Latency is state-dependent (row hit / closed row / row conflict) but
+bank queuing is not modelled — the MSHR bound in the core timing model
+already limits memory-level parallelism, which is the first-order
+contention effect for the latency-bound workloads studied here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import BLOCK_BITS, DRAMConfig
+
+
+@dataclass
+class DRAMStats:
+    reads: int = 0
+    writes: int = 0
+    row_hits: int = 0
+    row_misses: int = 0
+    row_conflicts: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.reads + self.writes
+
+    def merged(self, other: "DRAMStats") -> "DRAMStats":
+        return DRAMStats(self.reads + other.reads,
+                         self.writes + other.writes,
+                         self.row_hits + other.row_hits,
+                         self.row_misses + other.row_misses,
+                         self.row_conflicts + other.row_conflicts)
+
+
+class DRAMModel:
+    """Open-page DDR4 latency model."""
+
+    def __init__(self, config: DRAMConfig | None = None):
+        self.config = config or DRAMConfig()
+        c = self.config
+        self._row_bits = max(1, c.row_size_bytes.bit_length() - 1)
+        self._banks = c.banks * c.channels
+        self.open_rows: list[int] = [-1] * self._banks
+        self.stats = DRAMStats()
+        # Precompute the three latencies (core cycles).
+        self._lat_hit = c.row_hit_latency
+        self._lat_miss = c.row_miss_latency
+        self._lat_conflict = c.row_conflict_latency
+
+    def _locate(self, block: int) -> tuple[int, int]:
+        addr = block << BLOCK_BITS
+        row = addr >> self._row_bits
+        bank = row % self._banks
+        return bank, row
+
+    def read(self, block: int) -> int:
+        """Read one block; returns latency in core cycles."""
+        self.stats.reads += 1
+        return self._access(block)
+
+    def write(self, block: int) -> int:
+        """Write one block (writeback); returns latency in core cycles."""
+        self.stats.writes += 1
+        return self._access(block)
+
+    def _access(self, block: int) -> int:
+        bank, row = self._locate(block)
+        current = self.open_rows[bank]
+        if current == row:
+            self.stats.row_hits += 1
+            return self._lat_hit
+        self.open_rows[bank] = row
+        if current == -1:
+            self.stats.row_misses += 1
+            return self._lat_miss
+        self.stats.row_conflicts += 1
+        return self._lat_conflict

@@ -1,0 +1,160 @@
+"""Hardware prefetchers: next-line (L1D/SDC) and a simplified SPP (L2C).
+
+Prefetches are modelled as fills into the owning cache level off the
+critical path: they change residency (and thus future hit rates and
+pollution) but do not add latency to the triggering access.  Prefetch
+traffic that would hit below is not separately charged — the workloads
+of interest are latency-bound, not bandwidth-bound (paper §VI notes
+graph prefetchers saturate bandwidth; our model is conservative about
+granting them benefit).
+"""
+
+from __future__ import annotations
+
+
+class NextLinePrefetcher:
+    """Prefetch block N+1 on every demand access to block N."""
+
+    name = "next_line"
+    degree = 1
+
+    def on_access(self, block: int, hit: bool) -> list[int]:
+        return [block + 1]
+
+
+class SPPPrefetcher:
+    """Simplified Signature Path Prefetcher (Kim et al., MICRO'16).
+
+    Per-page trackers hold the last block offset and a compressed
+    delta-history signature; a global pattern table maps signatures to
+    delta->counter histograms.  On each access the table is walked along
+    the most likely path while the cumulative confidence stays above
+    ``threshold``.
+    """
+
+    name = "spp"
+
+    SIG_BITS = 12
+    BLOCKS_PER_PAGE = 64          # 4 KiB pages of 64 B blocks
+    MAX_DEPTH = 4
+    THRESHOLD = 0.25
+    MAX_COUNT = 16
+
+    def __init__(self) -> None:
+        self.trackers: dict[int, list[int]] = {}   # page -> [last_off, sig]
+        self.patterns: dict[int, dict[int, int]] = {}
+        self.totals: dict[int, int] = {}
+
+    def _update_pattern(self, sig: int, delta: int) -> None:
+        hist = self.patterns.setdefault(sig, {})
+        hist[delta] = min(hist.get(delta, 0) + 1, self.MAX_COUNT)
+        total = self.totals.get(sig, 0) + 1
+        if total > 4 * self.MAX_COUNT:
+            # Periodic decay keeps the histogram adaptive.
+            for d in list(hist):
+                hist[d] >>= 1
+                if hist[d] == 0:
+                    del hist[d]
+            total = sum(hist.values())
+        self.totals[sig] = total
+
+    @staticmethod
+    def _next_sig(sig: int, delta: int) -> int:
+        return ((sig << 3) ^ (delta & 0x7F)) & ((1 << SPPPrefetcher.SIG_BITS)
+                                                - 1)
+
+    def on_access(self, block: int, hit: bool) -> list[int]:
+        page = block // self.BLOCKS_PER_PAGE
+        offset = block % self.BLOCKS_PER_PAGE
+        tracker = self.trackers.get(page)
+        prefetches: list[int] = []
+        if tracker is not None:
+            last_off, sig = tracker
+            delta = offset - last_off
+            if delta != 0:
+                self._update_pattern(sig, delta)
+                sig = self._next_sig(sig, delta)
+                # Walk the signature path while confident.
+                conf = 1.0
+                cur_off = offset
+                cur_sig = sig
+                for _ in range(self.MAX_DEPTH):
+                    hist = self.patterns.get(cur_sig)
+                    if not hist:
+                        break
+                    total = self.totals.get(cur_sig, 0)
+                    if total <= 0:
+                        break
+                    best_delta, best_count = max(hist.items(),
+                                                 key=lambda kv: kv[1])
+                    conf *= best_count / total
+                    if conf < self.THRESHOLD:
+                        break
+                    cur_off += best_delta
+                    if not 0 <= cur_off < self.BLOCKS_PER_PAGE:
+                        break
+                    prefetches.append(page * self.BLOCKS_PER_PAGE + cur_off)
+                    cur_sig = self._next_sig(cur_sig, best_delta)
+            tracker[0] = offset
+            tracker[1] = sig
+        else:
+            if len(self.trackers) > 4096:
+                self.trackers.clear()   # bounded tracker storage
+            self.trackers[page] = [offset, 0]
+        return prefetches
+
+
+class StridePrefetcher:
+    """Classic IP-stride prefetcher (per-PC stride detection).
+
+    Tracks (last block, last stride, confidence) per PC; after two
+    confirmations of the same stride it prefetches ``degree`` blocks
+    ahead along it.  The §VI *Hardware Prefetching* claim is that this
+    class of prefetcher cannot help indirect graph accesses — the
+    per-PC strides of `contrib[NA[i]]` never repeat.
+
+    Used via ``on_access_pc`` (needs the PC); the plain ``on_access``
+    signature falls back to a global stream table for drop-in use.
+    """
+
+    name = "stride"
+    TABLE_SIZE = 256
+    CONF_MAX = 3
+    degree = 2
+
+    def __init__(self) -> None:
+        self.table: dict[int, list[int]] = {}   # pc -> [last, stride, conf]
+
+    def on_access_pc(self, pc: int, block: int, hit: bool) -> list[int]:
+        entry = self.table.get(pc)
+        if entry is None:
+            if len(self.table) >= self.TABLE_SIZE:
+                self.table.pop(next(iter(self.table)))
+            self.table[pc] = [block, 0, 0]
+            return []
+        stride = block - entry[0]
+        if stride != 0 and stride == entry[1]:
+            entry[2] = min(self.CONF_MAX, entry[2] + 1)
+        else:
+            entry[2] = max(0, entry[2] - 1)
+            entry[1] = stride
+        entry[0] = block
+        if entry[2] >= 2 and entry[1] != 0:
+            return [block + entry[1] * d
+                    for d in range(1, self.degree + 1)]
+        return []
+
+    def on_access(self, block: int, hit: bool) -> list[int]:
+        return self.on_access_pc(0, block, hit)
+
+
+def make_prefetcher(name: str | None):
+    if name is None:
+        return None
+    if name == "next_line":
+        return NextLinePrefetcher()
+    if name == "spp":
+        return SPPPrefetcher()
+    if name == "stride":
+        return StridePrefetcher()
+    raise ValueError(f"unknown prefetcher {name!r}")

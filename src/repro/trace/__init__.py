@@ -1,0 +1,31 @@
+"""Trace infrastructure: address layout, access records, instrumented kernels.
+
+The simulator is trace-driven: each workload is turned into a stream of
+memory-access records by an *instrumented* version of the GAP kernel that
+emits the loads and stores the C++ inner loops would issue (OA, NA,
+weights, property arrays, frontier buffers).  Records carry the static PC
+of the access site, the byte address, read/write, the number of
+non-memory instructions preceding the access, and a dependency link for
+pointer-chase serialization (DESIGN.md §5).
+"""
+
+from repro.trace.analysis import (miss_ratio_curve, region_reuse_profile,
+                                  reuse_distances)
+from repro.trace.kernels import TRACERS, generate_trace
+from repro.trace.layout import AddressSpace, Region
+from repro.trace.record import ACCESS_DTYPE, Trace, TraceBuilder
+from repro.trace.simpoint import select_simpoints
+
+__all__ = [
+    "AddressSpace",
+    "Region",
+    "ACCESS_DTYPE",
+    "Trace",
+    "TraceBuilder",
+    "select_simpoints",
+    "generate_trace",
+    "TRACERS",
+    "reuse_distances",
+    "miss_ratio_curve",
+    "region_reuse_profile",
+]

@@ -1,0 +1,115 @@
+"""Virtual address-space layout for traced workloads.
+
+Every program array (OA, NA, property arrays, frontier queues, ...) is
+registered with the :class:`AddressSpace`, which assigns it a
+page-aligned base address.  The resulting region table serves three
+consumers:
+
+* the instrumented kernels, which translate ``array[index]`` into a byte
+  address;
+* the Expert Programmer baseline, which classifies *regions* (data
+  structures) as cache-averse from profiled statistics (paper §IV-E);
+* per-region reporting in the experiment harness.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+import numpy as np
+
+PAGE = 4096
+BASE_ADDRESS = 0x10_0000_0000  # arbitrary start well above null
+
+
+@dataclass(frozen=True)
+class Region:
+    """One named array in the traced program's address space."""
+
+    name: str
+    base: int
+    elem_size: int
+    num_elems: int
+    irregular_hint: bool = False  # static kernel-author annotation
+
+    @property
+    def size(self) -> int:
+        return self.elem_size * self.num_elems
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def addr(self, index):
+        """Byte address of ``self[index]`` (scalar or ndarray)."""
+        return self.base + np.asarray(index, dtype=np.int64) * self.elem_size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+
+@dataclass
+class AddressSpace:
+    """Ordered collection of non-overlapping :class:`Region` objects."""
+
+    regions: dict[str, Region] = field(default_factory=dict)
+    _next_base: int = BASE_ADDRESS
+    _starts: list[int] = field(default_factory=list)
+    _names: list[str] = field(default_factory=list)
+
+    def add(self, name: str, elem_size: int, num_elems: int,
+            irregular_hint: bool = False) -> Region:
+        """Register an array; returns its :class:`Region`."""
+        if name in self.regions:
+            raise ValueError(f"region {name!r} already registered")
+        if elem_size <= 0 or num_elems < 0:
+            raise ValueError("elem_size must be positive, num_elems >= 0")
+        region = Region(name, self._next_base, elem_size, num_elems,
+                        irregular_hint)
+        self.regions[name] = region
+        self._starts.append(region.base)
+        self._names.append(name)
+        size = max(region.size, 1)
+        self._next_base += (size + PAGE - 1) // PAGE * PAGE + PAGE
+        return region
+
+    def __getitem__(self, name: str) -> Region:
+        return self.regions[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.regions
+
+    def region_of(self, addr: int) -> Region | None:
+        """Find the region containing a byte address (None if unmapped)."""
+        i = bisect.bisect_right(self._starts, addr) - 1
+        if i < 0:
+            return None
+        region = self.regions[self._names[i]]
+        return region if region.contains(addr) else None
+
+    def region_ids(self) -> dict[str, int]:
+        """Stable name -> small-integer id mapping (trace serialization)."""
+        return {name: i for i, name in enumerate(self._names)}
+
+    def classify_addresses(self, addrs: np.ndarray) -> np.ndarray:
+        """Vectorized region id per address (-1 for unmapped)."""
+        starts = np.asarray(self._starts, dtype=np.int64)
+        idx = np.searchsorted(starts, addrs, side="right") - 1
+        out = np.full(len(addrs), -1, dtype=np.int32)
+        valid = idx >= 0
+        for i, name in enumerate(self._names):
+            r = self.regions[name]
+            sel = valid & (idx == i) & (addrs < r.end)
+            out[sel] = i
+        return out
+
+    def describe(self) -> str:
+        lines = []
+        for name in self._names:
+            r = self.regions[name]
+            flag = " (irregular hint)" if r.irregular_hint else ""
+            lines.append(f"{name:<24} base=0x{r.base:012x} "
+                         f"{r.num_elems:>10} x {r.elem_size}B "
+                         f"= {r.size / 1024:10.1f} KiB{flag}")
+        return "\n".join(lines)

@@ -1,0 +1,83 @@
+"""SimPoint-style representative-interval selection (paper §IV-C).
+
+The original SimPoint methodology clusters basic-block vectors of
+fixed-length instruction intervals and simulates one representative per
+cluster, weighted by cluster size.  Our traces carry static PCs instead
+of basic blocks, so the feature vector of an interval is its normalized
+PC histogram — the same "what code is executing" signal at the
+granularity we have (DESIGN.md substitution #3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.trace.record import Trace
+
+
+@dataclass(frozen=True)
+class SimPoint:
+    """One representative interval."""
+
+    start: int        # record index of the interval start
+    length: int       # records in the interval
+    weight: float     # fraction of the trace this interval represents
+    cluster: int
+
+
+def interval_features(trace: Trace, interval_len: int) -> np.ndarray:
+    """Per-interval normalized PC-histogram feature matrix."""
+    if interval_len <= 0:
+        raise ValueError("interval_len must be positive")
+    pcs = trace.accesses["pc"]
+    n_intervals = max(1, len(pcs) // interval_len)
+    pcs = pcs[:n_intervals * interval_len]
+    uniq, inv = np.unique(pcs, return_inverse=True)
+    feats = np.zeros((n_intervals, len(uniq)), dtype=np.float64)
+    rows = np.repeat(np.arange(n_intervals), interval_len)
+    np.add.at(feats, (rows, inv), 1.0)
+    feats /= interval_len
+    return feats
+
+
+def select_simpoints(trace: Trace, interval_len: int, k: int = 4,
+                     seed: int = 0) -> list[SimPoint]:
+    """Pick up to ``k`` representative intervals via k-means clustering.
+
+    Returns SimPoints sorted by start; their weights sum to 1.
+    """
+    feats = interval_features(trace, interval_len)
+    n_intervals = len(feats)
+    k = min(k, n_intervals)
+    if k <= 1 or n_intervals == 1:
+        return [SimPoint(0, min(interval_len, len(trace)), 1.0, 0)]
+
+    from scipy.cluster.vq import kmeans2
+    # `minit="++"` with a fixed seed keeps selection deterministic.
+    centroids, labels = kmeans2(feats, k, minit="++", seed=seed)
+
+    points: list[SimPoint] = []
+    for c in range(k):
+        members = np.flatnonzero(labels == c)
+        if len(members) == 0:
+            continue
+        dists = np.linalg.norm(feats[members] - centroids[c], axis=1)
+        medoid = int(members[np.argmin(dists)])
+        points.append(SimPoint(medoid * interval_len, interval_len,
+                               len(members) / n_intervals, c))
+    points.sort(key=lambda p: p.start)
+    return points
+
+
+def weighted_metric(points: list[SimPoint],
+                    per_point_values: list[float]) -> float:
+    """Combine a per-interval metric into the SimPoint-weighted estimate."""
+    if len(points) != len(per_point_values):
+        raise ValueError("points and values must align")
+    total_w = sum(p.weight for p in points)
+    if total_w == 0:
+        return 0.0
+    return sum(p.weight * v for p, v in
+               zip(points, per_point_values)) / total_w

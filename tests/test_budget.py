@@ -1,0 +1,58 @@
+"""Tests for the Table IV hardware-budget accounting."""
+
+import pytest
+
+from repro.config import paper_config
+from repro.core.budget import (LP_ACCESS_TIME_NS, hardware_budget,
+                               lp_fits_in_one_cycle, table4,
+                               total_budget_kb)
+
+
+class TestTable4:
+    def test_rows_present(self):
+        rows = {r.name: r for r in hardware_budget()}
+        assert set(rows) == {"SDC", "LP", "SDCDir"}
+
+    def test_sdc_matches_paper(self):
+        """Table IV: SDC = 128 entries x (512 + 42 + 1 + 1) bits = 8.69 KB."""
+        sdc = {r.name: r for r in hardware_budget()}["SDC"]
+        assert sdc.entries == 128
+        assert sdc.bits_per_entry == 512 + 42 + 1 + 1
+        assert sdc.total_kb == pytest.approx(8.69, abs=0.01)
+
+    def test_lp_matches_paper(self):
+        """Table IV: LP = 32 x (65 + 58 + 14 + 1) bits = 0.54 KB."""
+        lp = {r.name: r for r in hardware_budget()}["LP"]
+        assert lp.entries == 32
+        assert lp.bits_per_entry == 65 + 58 + 14 + 1
+        assert lp.total_kb == pytest.approx(0.54, abs=0.01)
+
+    def test_sdcdir_matches_paper(self):
+        """Table IV: SDCDir = 128 x (42 + 6 + 1) bits = 0.77 KB."""
+        sd = {r.name: r for r in hardware_budget()}["SDCDir"]
+        assert sd.entries == 128
+        assert sd.bits_per_entry == 42 + 6 + 1
+        assert sd.total_kb == pytest.approx(0.77, abs=0.01)
+
+    def test_total_is_10kb(self):
+        """Abstract/§V-E: SDC+LP requires ~10 KB per core."""
+        assert total_budget_kb() == pytest.approx(10.0, abs=0.2)
+
+    def test_sharer_bits_scale_with_cores(self):
+        four = paper_config(num_cores=4)
+        sd = {r.name: r for r in hardware_budget(four)}["SDCDir"]
+        assert sd.bits_per_entry == 42 + 6 + 4
+
+    def test_render_contains_rows(self):
+        text = table4()
+        for token in ("SDC", "LP", "SDCDir", "Total"):
+            assert token in text
+
+
+class TestTiming:
+    def test_lp_fits_in_cycle(self):
+        """§V-E: 0.24 ns access vs 0.46 ns cycle."""
+        assert lp_fits_in_one_cycle()
+        cycle_ns = 1.0 / paper_config().core.frequency_ghz
+        assert cycle_ns == pytest.approx(0.46, abs=0.01)
+        assert LP_ACCESS_TIME_NS < cycle_ns

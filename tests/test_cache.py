@@ -1,0 +1,206 @@
+"""Tests for the set-associative cache, including a property-based
+equivalence check against a reference OrderedDict LRU model."""
+
+from collections import OrderedDict
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import CacheConfig
+from repro.mem.cache import SetAssocCache
+
+
+def make_cache(blocks=8, ways=2, replacement="lru"):
+    return SetAssocCache(CacheConfig("test", blocks * 64, ways, 1, 4,
+                                     replacement))
+
+
+class TestBasics:
+    def test_cold_miss_then_hit(self):
+        c = make_cache()
+        assert not c.access(5, False)
+        c.fill(5)
+        assert c.access(5, False)
+        assert c.stats.accesses == 2
+        assert c.stats.hits == 1
+        assert c.stats.misses == 1
+
+    def test_contains_does_not_touch_stats(self):
+        c = make_cache()
+        c.fill(3)
+        before = c.stats.accesses
+        assert c.contains(3)
+        assert not c.contains(4)
+        assert c.stats.accesses == before
+
+    def test_fill_same_block_idempotent(self):
+        c = make_cache()
+        c.fill(1)
+        assert c.fill(1) is None
+        assert c.occupancy == 1
+
+    def test_eviction_returns_victim(self):
+        c = make_cache(blocks=4, ways=2)   # 2 sets
+        # Blocks 0, 2, 4 all map to set 0.
+        c.fill(0)
+        c.fill(2)
+        evicted = c.fill(4)
+        assert evicted is not None
+        assert evicted[0] == 0          # LRU victim
+        assert not evicted[1]           # clean
+
+    def test_dirty_eviction_flagged(self):
+        c = make_cache(blocks=4, ways=2)
+        c.fill(0, dirty=True)
+        c.fill(2)
+        evicted = c.fill(4)
+        assert evicted == (0, True)
+        assert c.stats.writebacks == 1
+
+    def test_write_sets_dirty(self):
+        c = make_cache()
+        c.fill(7)
+        c.access(7, True)
+        _, dirty = c.invalidate(7)
+        assert dirty
+
+    def test_invalidate_absent(self):
+        c = make_cache()
+        assert c.invalidate(9) == (False, False)
+
+    def test_mark_dirty(self):
+        c = make_cache()
+        c.fill(1)
+        assert c.mark_dirty(1)
+        assert not c.mark_dirty(2)
+
+    def test_flush(self):
+        c = make_cache()
+        c.fill(1)
+        c.fill(2)
+        c.flush()
+        assert c.occupancy == 0
+
+    def test_resident_blocks(self):
+        c = make_cache(blocks=8, ways=2)
+        for b in (0, 1, 5):
+            c.fill(b)
+        assert set(c.resident_blocks()) == {0, 1, 5}
+
+    def test_set_mapping(self):
+        c = make_cache(blocks=8, ways=2)   # 4 sets
+        c.fill(3)
+        c.fill(7)     # same set as 3
+        c.fill(4)     # set 0
+        assert len(c.sets[3]) == 2
+        assert len(c.sets[0]) == 1
+
+
+class TestLRUOrder:
+    def test_hit_refreshes_recency(self):
+        c = make_cache(blocks=4, ways=2)
+        c.fill(0)
+        c.fill(2)
+        c.access(0, False)       # 0 becomes MRU
+        evicted = c.fill(4)
+        assert evicted[0] == 2
+
+    def test_prefetch_hit_tracked(self):
+        c = make_cache()
+        c.fill(1, prefetch=True)
+        assert c.stats.prefetch_fills == 1
+        c.access(1, False)
+        assert c.stats.prefetch_hits == 1
+        # Second hit is an ordinary hit.
+        c.access(1, False)
+        assert c.stats.prefetch_hits == 1
+
+
+class TestStats:
+    def test_hit_rate(self):
+        c = make_cache()
+        c.fill(0)
+        c.access(0, False)
+        c.access(1, False)
+        assert c.stats.hit_rate == 0.5
+
+    def test_mpki(self):
+        c = make_cache()
+        c.access(0, False)
+        assert c.stats.mpki(1000) == 1.0
+        assert c.stats.mpki(0) == 0.0
+
+    def test_merged(self):
+        a, b = make_cache(), make_cache()
+        a.access(0, False)
+        b.fill(0)
+        b.access(0, False)
+        m = a.stats.merged(b.stats)
+        assert m.accesses == 2
+        assert m.hits == 1
+        assert m.misses == 1
+
+
+class ReferenceLRU:
+    """Fully-associative LRU reference model."""
+
+    def __init__(self, capacity):
+        self.capacity = capacity
+        self.lines = OrderedDict()
+
+    def access(self, block):
+        if block in self.lines:
+            self.lines.move_to_end(block)
+            return True
+        return False
+
+    def fill(self, block):
+        if block in self.lines:
+            self.lines.move_to_end(block)
+            return
+        if len(self.lines) >= self.capacity:
+            self.lines.popitem(last=False)
+        self.lines[block] = True
+
+
+class TestEquivalence:
+    @given(st.lists(st.integers(0, 30), min_size=1, max_size=300))
+    @settings(max_examples=80, deadline=None)
+    def test_fully_assoc_matches_reference_lru(self, blocks):
+        """A 1-set SetAssocCache must behave exactly like textbook LRU."""
+        ways = 4
+        cache = SetAssocCache(CacheConfig("fa", ways * 64, ways, 1, 4,
+                                          "lru"))
+        assert cache.num_sets == 1
+        ref = ReferenceLRU(ways)
+        for b in blocks:
+            got = cache.access(b, False)
+            expected = ref.access(b)
+            assert got == expected
+            if not got:
+                cache.fill(b)
+                ref.fill(b)
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, blocks):
+        cache = make_cache(blocks=8, ways=2)
+        for b in blocks:
+            if not cache.access(b, False):
+                cache.fill(b)
+            assert cache.occupancy <= 8
+            for s in cache.sets:
+                assert len(s) <= 2
+
+    @given(st.lists(st.tuples(st.integers(0, 40), st.booleans()),
+                    min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_stats_always_consistent(self, ops):
+        cache = make_cache(blocks=8, ways=2)
+        for block, write in ops:
+            if not cache.access(block, write):
+                cache.fill(block, dirty=write)
+        s = cache.stats
+        assert s.hits + s.misses == s.accesses
+        assert s.writebacks <= s.evictions

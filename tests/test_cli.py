@@ -1,0 +1,71 @@
+"""Tests for the CLI entry point (cheap commands only)."""
+
+import pytest
+
+from repro.cli import QUICK_WORKLOADS, main
+from repro.experiments.workloads import WORKLOADS
+
+
+class TestCheapCommands:
+    def test_config(self, capsys):
+        assert main(["config"]) == 0
+        out = capsys.readouterr().out
+        assert "L1D" in out and "SDC" in out
+
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        assert "Pull-Only" in capsys.readouterr().out
+
+    def test_table4(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "SDCDir" in out
+        assert "LP fits in one CPU cycle: True" in out
+
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 36
+
+    def test_no_command_errors(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+
+class TestQuickSubset:
+    def test_quick_workloads_valid(self):
+        names = {w.name for w in WORKLOADS}
+        for wl in QUICK_WORKLOADS:
+            assert wl in names
+
+    def test_quick_covers_all_kernels(self):
+        kernels = {wl.split(".")[0] for wl in QUICK_WORKLOADS}
+        assert kernels == {"bc", "bfs", "cc", "pr", "tc", "sssp"}
+
+
+class TestFigureCommand:
+    def test_fig2_micro(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["fig2", "--quick", "--tier", "tiny",
+                     "--length", "3000"]) == 0
+        assert "MPKI" in capsys.readouterr().out
+
+    def test_run_command(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["run", "pr.urand", "--variant", "sdc_lp",
+                     "--tier", "tiny", "--length", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+        assert "LP:" in out
+        assert "served by:" in out
+
+    def test_run_baseline_variant(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+        assert main(["run", "cc.urand", "--variant", "baseline",
+                     "--tier", "tiny", "--length", "4000"]) == 0
+        out = capsys.readouterr().out
+        assert "LP:" not in out

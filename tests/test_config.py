@@ -1,0 +1,131 @@
+"""Unit tests for repro.config (Table I geometry and scaling)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (BLOCK_SIZE, CacheConfig, DRAMConfig, LPConfig,
+                          SystemConfig, paper_config, scaled_config)
+
+
+class TestCacheConfig:
+    def test_l1d_geometry_matches_table1(self):
+        cfg = paper_config()
+        assert cfg.l1d.size_bytes == 32 * 1024
+        assert cfg.l1d.ways == 8
+        assert cfg.l1d.num_sets == 64
+        assert cfg.l1d.latency == 4
+
+    def test_llc_geometry_matches_table1(self):
+        # 1.375 MiB, 11-way -> the paper's 2048 sets (§IV-E mentions
+        # doubling sets from 2048 to 4096 for 2xLLC).
+        cfg = paper_config()
+        assert cfg.llc.size_bytes == 1408 * 1024
+        assert cfg.llc.num_sets == 2048
+
+    def test_sdc_geometry_matches_table1(self):
+        cfg = paper_config()
+        assert cfg.sdc.size_bytes == 8 * 1024
+        assert cfg.sdc.ways == 2
+        assert cfg.sdc.latency == 1
+        assert cfg.sdc.num_blocks == 128
+
+    def test_num_blocks(self):
+        c = CacheConfig("x", 64 * 1024, 8, 1, 8)
+        assert c.num_blocks == 1024
+        assert c.num_sets == 128
+
+    def test_invalid_geometry_raises(self):
+        c = CacheConfig("x", 100, 3, 1, 8)
+        with pytest.raises(ValueError):
+            _ = c.num_sets
+
+    def test_resized_preserves_other_fields(self):
+        cfg = paper_config().l1d
+        bigger = cfg.resized(cfg.size_bytes * 2)
+        assert bigger.size_bytes == 2 * cfg.size_bytes
+        assert bigger.ways == cfg.ways
+        assert bigger.replacement == cfg.replacement
+        assert bigger.prefetcher == cfg.prefetcher
+
+
+class TestLPConfig:
+    def test_table1_defaults(self):
+        lp = LPConfig()
+        assert lp.entries == 32
+        assert lp.ways == 8
+        assert lp.tau_glob == 8
+        assert lp.num_sets == 4
+
+    def test_storage_matches_table4(self):
+        # Table IV: 32 x (65 + 58 + 14 + 1) bits = 0.54 KB.
+        lp = LPConfig()
+        assert lp.storage_bits == 32 * 138
+        assert abs(lp.storage_bits / 8192 - 0.54) < 0.01
+
+    def test_indivisible_ways_raises(self):
+        with pytest.raises(ValueError):
+            _ = LPConfig(entries=32, ways=5).num_sets
+
+
+class TestDRAMConfig:
+    def test_latency_ordering(self):
+        d = DRAMConfig()
+        assert d.row_hit_latency < d.row_miss_latency
+        assert d.row_miss_latency < d.row_conflict_latency
+
+    def test_core_cycle_conversion(self):
+        # 24 bus cycles at 1466.5 MHz against a 2.166 GHz core
+        # ≈ 35 core cycles.
+        d = DRAMConfig()
+        assert 30 <= d._to_core(24) <= 40
+
+
+class TestScaledConfig:
+    def test_capacities_divided(self):
+        base, scaled = paper_config(), scaled_config(8)
+        assert scaled.l1d.size_bytes == base.l1d.size_bytes // 8
+        assert scaled.l2c.size_bytes == base.l2c.size_bytes // 8
+        assert scaled.llc.size_bytes == base.llc.size_bytes // 8
+
+    def test_latencies_unchanged(self):
+        base, scaled = paper_config(), scaled_config(16)
+        for name in ("l1d", "l2c", "llc", "sdc"):
+            assert getattr(scaled, name).latency == \
+                getattr(base, name).latency
+
+    def test_lp_not_scaled(self):
+        assert scaled_config(32).lp == paper_config().lp
+
+    def test_extreme_scale_keeps_valid_geometry(self):
+        cfg = scaled_config(1024)
+        for name in ("l1d", "l2c", "llc", "sdc"):
+            cache = getattr(cfg, name)
+            assert cache.num_sets >= 1
+            assert cache.size_bytes >= cache.ways * BLOCK_SIZE
+
+    def test_scale_one_is_identity(self):
+        assert scaled_config(1).llc.size_bytes == \
+            paper_config().llc.size_bytes
+
+    def test_invalid_scale_raises(self):
+        with pytest.raises(ValueError):
+            scaled_config(0)
+
+    def test_all_scaled_geometries_integral(self):
+        for scale in (2, 4, 8, 16, 64):
+            cfg = scaled_config(scale)
+            for name in ("l1d", "l2c", "llc", "sdc"):
+                _ = getattr(cfg, name).num_sets   # must not raise
+
+
+class TestDescribe:
+    def test_describe_mentions_all_structures(self):
+        text = paper_config().describe()
+        for token in ("L1D", "L2C", "LLC", "SDC", "LP", "SDCDir", "DRAM"):
+            assert token in text
+
+    def test_frozen(self):
+        cfg = paper_config()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.num_cores = 4

@@ -1,0 +1,67 @@
+"""Tests for the DRAM open-row latency model."""
+
+from repro.config import DRAMConfig
+from repro.mem.dram import DRAMModel
+
+
+def block_in_row(model, bank_row):
+    """A block address guaranteed to land in the given (bank, row)."""
+    # row r maps to bank r % banks; choose rows directly.
+    row_bits = model._row_bits
+    return (bank_row << row_bits) >> 6
+
+
+class TestRowBuffer:
+    def test_first_access_is_row_miss(self):
+        d = DRAMModel()
+        lat = d.read(0)
+        assert lat == d.config.row_miss_latency
+        assert d.stats.row_misses == 1
+
+    def test_same_row_hits(self):
+        d = DRAMModel()
+        d.read(0)
+        lat = d.read(1)      # same 8 KiB row
+        assert lat == d.config.row_hit_latency
+        assert d.stats.row_hits == 1
+
+    def test_row_conflict(self):
+        d = DRAMModel()
+        banks = d._banks
+        d.read(block_in_row(d, 0))
+        lat = d.read(block_in_row(d, banks))   # same bank, another row
+        assert lat == d.config.row_conflict_latency
+        assert d.stats.row_conflicts == 1
+
+    def test_different_banks_independent(self):
+        d = DRAMModel()
+        d.read(block_in_row(d, 0))
+        d.read(block_in_row(d, 1))     # bank 1
+        lat = d.read(block_in_row(d, 0) + 1)   # bank 0 row still open
+        assert lat == d.config.row_hit_latency
+
+    def test_write_counts(self):
+        d = DRAMModel()
+        d.write(0)
+        assert d.stats.writes == 1
+        assert d.stats.reads == 0
+        assert d.stats.accesses == 1
+
+    def test_latency_ordering(self):
+        c = DRAMConfig()
+        assert c.row_hit_latency < c.row_miss_latency \
+            < c.row_conflict_latency
+
+    def test_stats_merge(self):
+        a, b = DRAMModel(), DRAMModel()
+        a.read(0)
+        b.write(0)
+        m = a.stats.merged(b.stats)
+        assert m.reads == 1 and m.writes == 1
+
+    def test_sequential_stream_mostly_hits(self):
+        d = DRAMModel()
+        for blk in range(512):
+            d.read(blk)
+        # 8 KiB rows of 64 B blocks = 128 blocks/row: 4 misses, rest hits.
+        assert d.stats.row_hits > 500

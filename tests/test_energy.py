@@ -1,0 +1,64 @@
+"""Tests for the dynamic-energy accounting (§V-E extension)."""
+
+import pytest
+
+from repro.config import scaled_config
+from repro.core.energy import (EnergyBreakdown, energy_of,
+                               energy_per_kilo_instruction)
+from repro.core.system import SingleCoreSystem
+from tests.test_system import synthetic_trace
+
+
+@pytest.fixture(scope="module")
+def runs():
+    cfg = scaled_config(64)
+    trace = synthetic_trace("random", n=8000)
+    base = SingleCoreSystem(cfg, "baseline").run(trace)
+    prop = SingleCoreSystem(cfg, "sdc_lp").run(trace)
+    return base, prop
+
+
+class TestBreakdown:
+    def test_all_components_nonnegative(self, runs):
+        for stats in runs:
+            e = energy_of(stats)
+            assert all(x >= 0 for x in e.row())
+
+    def test_total_is_sum(self, runs):
+        e = energy_of(runs[0])
+        assert e.total == pytest.approx(sum(e.row()[:-1]))
+
+    def test_baseline_has_no_sdc_lp_energy(self, runs):
+        e = energy_of(runs[0])
+        assert e.sdc == 0.0
+        assert e.lp == 0.0
+        assert e.sdcdir == 0.0
+
+    def test_sdc_lp_shifts_energy_from_l2_llc(self, runs):
+        """The design's energy story: fewer L2C/LLC lookups on the
+        cache-averse stream."""
+        base, prop = runs
+        eb, ep = energy_of(base), energy_of(prop)
+        assert ep.l2c < eb.l2c * 0.5
+        assert ep.llc < eb.llc * 0.5
+        assert ep.sdc > 0 and ep.lp > 0
+
+    def test_on_chip_excludes_dram(self, runs):
+        e = energy_of(runs[0])
+        assert e.on_chip == pytest.approx(e.total - e.dram)
+
+    def test_epki_positive(self, runs):
+        assert energy_per_kilo_instruction(runs[0]) > 0
+
+    def test_epki_zero_instructions(self):
+        class Empty:
+            instructions = 0
+        assert energy_per_kilo_instruction(Empty()) == 0.0
+
+
+class TestComparison:
+    def test_sdc_lp_saves_on_chip_energy_on_averse_stream(self, runs):
+        """Bypassing removes whole-hierarchy lookups, so the on-chip
+        energy of the irregular workload drops under SDC+LP."""
+        base, prop = runs
+        assert energy_of(prop).on_chip < energy_of(base).on_chip

@@ -1,0 +1,90 @@
+"""Tests for the Expert Programmer classification (§IV-E / §V-C)."""
+
+import numpy as np
+import pytest
+
+from repro.config import scaled_config
+from repro.core.expert import (RegionProfile, classify_regions,
+                               expert_regions_for, profile_regions)
+from repro.trace.layout import AddressSpace
+from repro.trace.record import TraceBuilder
+
+
+def two_region_trace(n=4000, seed=0):
+    space = AddressSpace()
+    seq = space.add("friendly", 4, 1 << 13)
+    rnd = space.add("averse", 4, 1 << 20, irregular_hint=True)
+    tb = TraceBuilder(space)
+    rng = np.random.default_rng(seed)
+    tb.emit(tb.pc("s"), seq.addr(np.arange(n // 2) % (1 << 13)), gap=2)
+    tb.emit(tb.pc("r"), rnd.addr(rng.integers(0, 1 << 20, n // 2)), gap=2)
+    return tb.build()
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return scaled_config(64)
+
+
+class TestProfiling:
+    def test_profiles_cover_all_regions(self, cfg):
+        trace = two_region_trace()
+        profiles = profile_regions(trace, cfg)
+        assert [p.name for p in profiles] == ["friendly", "averse"]
+        assert sum(p.accesses for p in profiles) == len(trace)
+
+    def test_averse_region_has_high_dram_fraction(self, cfg):
+        trace = two_region_trace()
+        profiles = {p.name: p for p in profile_regions(trace, cfg)}
+        assert profiles["averse"].dram_fraction > 0.5
+        assert profiles["friendly"].dram_fraction < 0.1
+
+    def test_levels_can_be_supplied(self, cfg):
+        from repro.core.system import SingleCoreSystem
+        trace = two_region_trace()
+        levels = SingleCoreSystem(cfg, "baseline").run(
+            trace, record_levels=True).levels
+        profiles = profile_regions(trace, cfg, levels=levels)
+        assert sum(p.accesses for p in profiles) == len(trace)
+
+
+class TestClassification:
+    def test_threshold_selects_averse_only(self, cfg):
+        trace = two_region_trace()
+        regions = expert_regions_for(trace, cfg)
+        assert regions == {1}
+
+    def test_min_accesses_filters_tiny_regions(self):
+        profiles = [RegionProfile(0, "tiny", 10, 10),
+                    RegionProfile(1, "big", 10_000, 9_000)]
+        assert classify_regions(profiles, min_accesses=256) == {1}
+
+    def test_threshold_zero_selects_everything_nonempty(self):
+        profiles = [RegionProfile(0, "a", 1000, 0),
+                    RegionProfile(1, "b", 1000, 1)]
+        assert classify_regions(profiles, dram_threshold=0.0) == {0, 1}
+
+    def test_empty_region_fraction_zero(self):
+        p = RegionProfile(0, "empty", 0, 0)
+        assert p.dram_fraction == 0.0
+
+
+class TestJudiciousExpert:
+    def test_best_never_worse_than_nothing(self, cfg):
+        """The measured-candidate expert at least matches the empty
+        routing set (it is among the candidates)."""
+        from repro.core.expert import expert_regions_best
+        from repro.core.system import SingleCoreSystem
+        trace = two_region_trace()
+        best = expert_regions_best(trace, cfg)
+        best_cycles = SingleCoreSystem(
+            cfg, "expert", expert_regions=best).run(trace).cycles
+        none_cycles = SingleCoreSystem(
+            cfg, "expert", expert_regions=set()).run(trace).cycles
+        assert best_cycles <= none_cycles
+
+    def test_best_picks_averse_region_when_profitable(self, cfg):
+        from repro.core.expert import expert_regions_best
+        trace = two_region_trace(n=6000)
+        best = expert_regions_best(trace, cfg)
+        assert best == {1}      # the random region pays off in the SDC

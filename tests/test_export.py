@@ -1,0 +1,59 @@
+"""Tests for CSV export of experiment results."""
+
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.experiments.export import to_csv, write_csv
+
+
+@dataclass
+class FakeResult:
+    workloads: list
+    speedups: dict
+    scalar: float = 1.0
+
+
+def make_result():
+    return FakeResult(["a", "b"], {"x": [0.1, 0.2], "y": [0.3, 0.4]})
+
+
+class TestToCSV:
+    def test_header_and_rows(self):
+        text = to_csv(make_result())
+        lines = text.strip().splitlines()
+        assert lines[0] == "workloads,speedups.x,speedups.y"
+        assert lines[1] == "a,0.1,0.3"
+        assert len(lines) == 3
+
+    def test_scalar_fields_ignored(self):
+        assert "scalar" not in to_csv(make_result())
+
+    def test_non_dataclass_rejected(self):
+        with pytest.raises(TypeError):
+            to_csv({"not": "a dataclass"})
+
+    def test_ragged_columns_rejected(self):
+        bad = FakeResult(["a"], {"x": [1, 2]})
+        with pytest.raises(ValueError, match="length"):
+            to_csv(bad)
+
+    def test_empty_rejected(self):
+        @dataclass
+        class Empty:
+            n: int = 0
+        with pytest.raises(ValueError):
+            to_csv(Empty())
+
+    def test_real_figure_result(self):
+        from repro.experiments.figures import Fig2Result
+        res = Fig2Result(["pr.kron"], [50.0], [40.0], [30.0])
+        text = to_csv(res)
+        assert "l1d" in text and "pr.kron" in text
+
+
+class TestWriteCSV:
+    def test_writes_file(self, tmp_path):
+        path = write_csv(make_result(), tmp_path / "sub" / "out.csv")
+        assert path.exists()
+        assert path.read_text().startswith("workloads")

@@ -1,0 +1,129 @@
+"""Tests for the synthetic graph generators (Table III surrogates)."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import (grid_road_graph, kronecker_graph,
+                                     power_law_graph, uniform_random_graph)
+from repro.graphs.suite import GRAPH_SUITE, SIZE_TIERS, load_graph
+
+
+class TestKronecker:
+    def test_vertex_count_is_power_of_two(self):
+        g = kronecker_graph(8, 4, seed=1)
+        assert g.num_vertices == 256
+
+    def test_deterministic(self):
+        a = kronecker_graph(8, 4, seed=7)
+        b = kronecker_graph(8, 4, seed=7)
+        assert np.array_equal(a.out_na, b.out_na)
+        assert np.array_equal(a.out_oa, b.out_oa)
+
+    def test_seed_changes_graph(self):
+        a = kronecker_graph(8, 4, seed=7)
+        b = kronecker_graph(8, 4, seed=8)
+        assert not (len(a.out_na) == len(b.out_na)
+                    and np.array_equal(a.out_na, b.out_na))
+
+    def test_power_law_skew(self):
+        """Kron graphs must have hub vertices far above the mean degree."""
+        g = kronecker_graph(12, 8, seed=1)
+        degs = g.out_degrees()
+        assert degs.max() > 10 * max(1.0, degs.mean())
+
+    def test_weighted(self):
+        g = kronecker_graph(8, 4, seed=1, weighted=True)
+        assert g.out_weights is not None
+        assert g.out_weights.min() >= 1
+
+    def test_symmetric_by_default(self):
+        g = kronecker_graph(8, 4, seed=1)
+        assert g.symmetric
+
+
+class TestUniformRandom:
+    def test_no_hubs(self):
+        """Urand's binomial degrees have no heavy tail."""
+        g = uniform_random_graph(4096, 8, seed=2)
+        degs = g.out_degrees()
+        assert degs.max() < 5 * degs.mean()
+
+    def test_requested_size(self):
+        g = uniform_random_graph(1000, 4, seed=2)
+        assert g.num_vertices == 1000
+
+    def test_deterministic(self):
+        a = uniform_random_graph(512, 4, seed=3)
+        b = uniform_random_graph(512, 4, seed=3)
+        assert np.array_equal(a.out_na, b.out_na)
+
+
+class TestRoadGrid:
+    def test_bounded_degree(self):
+        """Road-like graphs have near-constant small degree."""
+        g = grid_road_graph(32, diagonal_fraction=0.0, seed=3)
+        assert g.out_degrees().max() <= 4
+
+    def test_grid_adjacency(self):
+        g = grid_road_graph(4, diagonal_fraction=0.0, seed=3)
+        # Vertex 5 (row 1, col 1) connects to 1, 4, 6, 9.
+        assert set(g.out_neighbors(5).tolist()) == {1, 4, 6, 9}
+
+    def test_weighted_by_default(self):
+        g = grid_road_graph(8, seed=3)
+        assert g.out_weights is not None
+
+    def test_shortcuts_increase_edges(self):
+        base = grid_road_graph(16, diagonal_fraction=0.0, seed=3)
+        more = grid_road_graph(16, diagonal_fraction=0.2, seed=3)
+        assert more.num_edges > base.num_edges
+
+
+class TestPowerLaw:
+    def test_exponent_controls_skew(self):
+        flat = power_law_graph(2048, 8, exponent=3.5, seed=4)
+        steep = power_law_graph(2048, 8, exponent=1.7, seed=4)
+        assert steep.in_degrees().max() > flat.in_degrees().max()
+
+    def test_hot_vertices_scattered(self):
+        """Vertex ids of hubs must not cluster at 0 (ids are permuted)."""
+        g = power_law_graph(4096, 8, exponent=2.0, seed=4)
+        hubs = np.argsort(g.in_degrees())[-32:]
+        assert hubs.max() > 1024
+
+
+class TestSuite:
+    @pytest.mark.parametrize("name", sorted(GRAPH_SUITE))
+    def test_all_suite_graphs_build_tiny(self, name):
+        g = load_graph(name, tier="tiny")
+        g.validate()
+        assert g.num_vertices > 100
+        assert g.num_edges > g.num_vertices
+
+    def test_load_graph_cached(self):
+        a = load_graph("urand", tier="tiny")
+        b = load_graph("urand", tier="tiny")
+        assert a is b
+
+    def test_unknown_graph_raises(self):
+        with pytest.raises(ValueError, match="unknown graph"):
+            load_graph("nonexistent")
+
+    def test_unknown_tier_raises(self):
+        with pytest.raises(ValueError, match="tier"):
+            GRAPH_SUITE["urand"].build("huge")
+
+    def test_tiers_scale_size(self):
+        tiny = load_graph("urand", tier="tiny")
+        small = load_graph("urand", tier="small")
+        assert small.num_vertices > tiny.num_vertices
+
+    def test_weighted_variants(self):
+        g = load_graph("urand", tier="tiny", weighted=True)
+        assert g.out_weights is not None
+
+    def test_friendster_largest_edge_count(self):
+        """Friendster is the paper's biggest input; preserve the order."""
+        sizes = {name: load_graph(name, "tiny").num_edges
+                 for name in ("road", "friendster")}
+        assert sizes["friendster"] > sizes["road"]

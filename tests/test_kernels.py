@@ -1,0 +1,281 @@
+"""Correctness tests for the six GAP reference kernels, cross-validated
+against networkx / scipy implementations."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from scipy.sparse.csgraph import dijkstra
+
+from repro.graphs.csr import from_edges
+from repro.graphs.generators import (grid_road_graph, kronecker_graph,
+                                     uniform_random_graph)
+from repro.kernels import (betweenness_centrality, bfs,
+                           connected_components, pagerank, run_kernel,
+                           sssp, triangle_count)
+from repro.kernels.bfs import bfs_distances
+from repro.kernels.common import KERNEL_TABLE, pick_source
+from repro.kernels.sssp import INF
+
+
+def to_nx(graph, directed=True):
+    g = nx.DiGraph() if directed else nx.Graph()
+    g.add_nodes_from(range(graph.num_vertices))
+    for u in range(graph.num_vertices):
+        for v in graph.out_neighbors(u):
+            g.add_edge(u, int(v))
+    return g
+
+
+@pytest.fixture(scope="module")
+def kron():
+    return kronecker_graph(9, 6, seed=11)
+
+
+@pytest.fixture(scope="module")
+def urand():
+    return uniform_random_graph(300, 5, seed=12)
+
+
+class TestBFS:
+    def test_reachability_matches_networkx(self, kron):
+        src = pick_source(kron, seed=1)
+        parent = bfs(kron, src)
+        nxg = to_nx(kron)
+        reachable = set(nx.descendants(nxg, src)) | {src}
+        assert set(np.flatnonzero(parent >= 0).tolist()) == reachable
+
+    def test_distances_match_networkx(self, urand):
+        src = pick_source(urand, seed=2)
+        dist = bfs_distances(urand, src)
+        nxd = nx.single_source_shortest_path_length(to_nx(urand), src)
+        for v in range(urand.num_vertices):
+            expected = nxd.get(v, -1)
+            assert dist[v] == expected
+
+    def test_parents_are_valid_tree(self, kron):
+        src = pick_source(kron, seed=3)
+        parent = bfs(kron, src)
+        assert parent[src] == src
+        # Every reached vertex's parent is reached and is a real in-edge.
+        for v in np.flatnonzero(parent >= 0):
+            v = int(v)
+            if v == src:
+                continue
+            p = int(parent[v])
+            assert parent[p] >= 0
+            assert v in kron.out_neighbors(p)
+
+    def test_source_out_of_range(self, kron):
+        with pytest.raises(ValueError):
+            bfs(kron, -1)
+        with pytest.raises(ValueError):
+            bfs(kron, kron.num_vertices)
+
+    def test_isolated_source(self):
+        g = from_edges(np.array([[1, 2]]), num_vertices=4)
+        parent = bfs(g, 0)
+        assert parent[0] == 0
+        assert (parent[1:] == -1).all()
+
+    def test_direction_optimization_triggers_pull(self):
+        """A dense graph must take the bottom-up path and stay correct."""
+        g = kronecker_graph(8, 16, seed=5)   # very dense: pull kicks in
+        src = pick_source(g, seed=0)
+        parent = bfs(g, src)
+        nxg = to_nx(g)
+        reachable = set(nx.descendants(nxg, src)) | {src}
+        assert set(np.flatnonzero(parent >= 0).tolist()) == reachable
+
+
+class TestPageRank:
+    def test_matches_networkx(self, urand):
+        scores = pagerank(urand, damping=0.85, epsilon=1e-10,
+                          max_iterations=100)
+        nx_scores = nx.pagerank(to_nx(urand), alpha=0.85, tol=1e-12,
+                                max_iter=200)
+        ours = scores / scores.sum()
+        for v in range(urand.num_vertices):
+            assert ours[v] == pytest.approx(nx_scores[v], abs=1e-6)
+
+    def test_uniform_on_cycle(self):
+        n = 10
+        edges = np.array([[i, (i + 1) % n] for i in range(n)])
+        g = from_edges(edges, num_vertices=n)
+        scores = pagerank(g, max_iterations=200, epsilon=1e-12)
+        assert np.allclose(scores, scores[0])
+
+    def test_convergence_stops_early(self, urand):
+        few = pagerank(urand, max_iterations=500, epsilon=1e-3)
+        many = pagerank(urand, max_iterations=500, epsilon=1e-12)
+        assert np.abs(few - many).sum() < 1e-2
+
+    def test_empty_graph(self):
+        g = from_edges(np.empty((0, 2), dtype=np.int64), num_vertices=0)
+        assert len(pagerank(g)) == 0
+
+    def test_dangling_vertices_no_nan(self):
+        g = from_edges(np.array([[0, 1], [1, 2]]), num_vertices=4)
+        scores = pagerank(g, max_iterations=10)
+        assert np.isfinite(scores).all()
+
+
+class TestConnectedComponents:
+    def test_matches_networkx(self, kron):
+        comp = connected_components(kron)
+        nxg = to_nx(kron, directed=False)
+        for cc in nx.connected_components(nxg):
+            labels = {int(comp[v]) for v in cc}
+            assert len(labels) == 1
+
+    def test_label_count_matches(self, urand):
+        # CC treats the graph as undirected (GAP semantics).
+        comp = connected_components(urand)
+        nxg = to_nx(urand, directed=False)
+        assert len(np.unique(comp)) == nx.number_connected_components(nxg)
+
+    def test_disjoint_components(self):
+        g = from_edges(np.array([[0, 1], [2, 3]]), num_vertices=5)
+        comp = connected_components(g)
+        assert comp[0] == comp[1]
+        assert comp[2] == comp[3]
+        assert len({int(comp[0]), int(comp[2]), int(comp[4])}) == 3
+
+    def test_labels_are_component_minima(self):
+        g = from_edges(np.array([[3, 1], [1, 2]]), num_vertices=4)
+        comp = connected_components(g)
+        assert comp[1] == comp[2] == comp[3] == 1
+        assert comp[0] == 0
+
+    def test_empty_graph(self):
+        g = from_edges(np.empty((0, 2), dtype=np.int64), num_vertices=3)
+        assert list(connected_components(g)) == [0, 1, 2]
+
+
+class TestTriangleCount:
+    def test_matches_networkx(self, kron):
+        ours = triangle_count(kron)
+        nxg = to_nx(kron, directed=False)
+        expected = sum(nx.triangles(nxg).values()) // 3
+        assert ours == expected
+
+    def test_directed_graph_counts_undirected_triangles(self, urand):
+        ours = triangle_count(urand)
+        nxg = to_nx(urand, directed=False)
+        expected = sum(nx.triangles(nxg).values()) // 3
+        assert ours == expected
+
+    def test_known_small_graphs(self):
+        tri = from_edges(np.array([[0, 1], [1, 2], [2, 0]]),
+                         num_vertices=3, symmetrize=True)
+        assert triangle_count(tri) == 1
+        k4 = from_edges(np.array([[a, b] for a in range(4)
+                                  for b in range(a + 1, 4)]),
+                        num_vertices=4, symmetrize=True)
+        assert triangle_count(k4) == 4
+
+    def test_triangle_free(self):
+        path = from_edges(np.array([[0, 1], [1, 2], [2, 3]]),
+                          num_vertices=4, symmetrize=True)
+        assert triangle_count(path) == 0
+
+    def test_empty(self):
+        g = from_edges(np.empty((0, 2), dtype=np.int64), num_vertices=2)
+        assert triangle_count(g) == 0
+
+
+class TestSSSP:
+    def test_matches_scipy_dijkstra(self):
+        g = grid_road_graph(12, seed=13)
+        src = 0
+        ours = sssp(g, src)
+        m = g.to_scipy()
+        ref = dijkstra(m, indices=src)
+        finite = np.isfinite(ref)
+        assert np.array_equal(ours[finite], ref[finite].astype(np.int64))
+        assert (ours[~finite] == INF).all()
+
+    def test_weighted_kron(self, weighted_kron):
+        src = pick_source(weighted_kron, seed=3)
+        ours = sssp(weighted_kron, src)
+        ref = dijkstra(weighted_kron.to_scipy(), indices=src)
+        finite = np.isfinite(ref)
+        assert np.array_equal(ours[finite], ref[finite].astype(np.int64))
+
+    def test_delta_insensitivity(self):
+        """Distances must not depend on the bucket width."""
+        g = grid_road_graph(8, seed=13)
+        d1 = sssp(g, 0, delta=1)
+        d64 = sssp(g, 0, delta=64)
+        dbig = sssp(g, 0, delta=100000)   # degenerates to Bellman-Ford
+        assert np.array_equal(d1, d64)
+        assert np.array_equal(d1, dbig)
+
+    def test_unweighted_graph_raises(self, kron):
+        with pytest.raises(ValueError, match="weighted"):
+            sssp(kron, 0)
+
+    def test_source_distance_zero(self):
+        g = grid_road_graph(6, seed=13)
+        assert sssp(g, 7)[7] == 0
+
+    def test_bad_source_raises(self):
+        g = grid_road_graph(4, seed=13)
+        with pytest.raises(ValueError):
+            sssp(g, 10**6)
+
+
+class TestBetweennessCentrality:
+    def test_path_graph_center_highest(self):
+        path = from_edges(np.array([[i, i + 1] for i in range(6)]),
+                          num_vertices=7, symmetrize=True)
+        scores = betweenness_centrality(path, num_sources=7, seed=0,
+                                        normalize=False)
+        assert np.argmax(scores) == 3
+
+    def test_star_graph_hub_dominates(self):
+        star = from_edges(np.array([[0, i] for i in range(1, 8)]),
+                          num_vertices=8, symmetrize=True)
+        scores = betweenness_centrality(star, num_sources=8, seed=0)
+        assert np.argmax(scores) == 0
+        assert scores[0] > 5 * max(scores[1], 1e-12)
+
+    def test_all_sources_matches_networkx(self):
+        g = uniform_random_graph(60, 3, seed=14)
+        scores = betweenness_centrality(g, num_sources=g.num_vertices,
+                                        seed=0, normalize=False)
+        nxg = to_nx(g)
+        ref = nx.betweenness_centrality(nxg, normalized=False)
+        # All-sources Brandes equals exact betweenness.
+        for v in range(g.num_vertices):
+            assert scores[v] == pytest.approx(ref[v], abs=1e-6)
+
+    def test_normalization(self, kron):
+        scores = betweenness_centrality(kron, num_sources=2, seed=1)
+        assert 0.0 <= scores.min()
+        assert scores.max() == pytest.approx(1.0)
+
+    def test_empty_graph(self):
+        g = from_edges(np.empty((0, 2), dtype=np.int64), num_vertices=4)
+        assert (betweenness_centrality(g) == 0).all()
+
+
+class TestRegistry:
+    def test_run_kernel_dispatch(self, kron):
+        assert run_kernel("tc", kron) == triangle_count(kron)
+
+    def test_unknown_kernel_raises(self, kron):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            run_kernel("nope", kron)
+
+    def test_table2_covers_all_kernels(self):
+        assert set(KERNEL_TABLE) == {"bc", "bfs", "cc", "pr", "tc", "sssp"}
+
+    def test_table2_properties(self):
+        assert KERNEL_TABLE["pr"].execution_style == "Pull-Only"
+        assert KERNEL_TABLE["bfs"].uses_frontier
+        assert not KERNEL_TABLE["pr"].uses_frontier
+        assert KERNEL_TABLE["sssp"].weighted_input
+
+    def test_pick_source_has_outgoing_edges(self, kron):
+        src = pick_source(kron, seed=9)
+        assert kron.out_degree(src) > 0

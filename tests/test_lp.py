@@ -1,0 +1,172 @@
+"""Tests for the Large Predictor — the exact semantics of §III-B."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import LPConfig
+from repro.core.lp import LargePredictor
+
+
+def lp(entries=32, ways=8, tau=8):
+    return LargePredictor(LPConfig(entries=entries, ways=ways,
+                                   tau_glob=tau))
+
+
+class TestPrediction:
+    def test_first_access_is_regular(self):
+        p = lp()
+        assert p.predict_and_update(0x400, 100) is False
+        assert p.stats.table_misses == 1
+
+    def test_small_strides_stay_regular(self):
+        p = lp(tau=8)
+        for i in range(50):
+            irregular = p.predict_and_update(0x400, 1000 + i)
+            assert irregular is False
+
+    def test_large_strides_become_irregular(self):
+        p = lp(tau=8)
+        p.predict_and_update(0x400, 0)
+        addr = 0
+        flips = []
+        for _ in range(10):
+            addr += 1000
+            flips.append(p.predict_and_update(0x400, addr))
+        assert flips[-1] is True
+
+    def test_prediction_uses_pre_update_state(self):
+        """Fig. 4: the comparison happens before the stride update."""
+        p = lp(tau=8)
+        p.predict_and_update(0x400, 0)
+        # Second access strides 10^6: prediction still sees s_acc = 0.
+        assert p.predict_and_update(0x400, 10**6) is False
+        # Third access: s_acc now reflects the big stride.
+        assert p.predict_and_update(0x400, 2 * 10**6) is True
+
+    def test_threshold_boundary(self):
+        """Irregular iff s_acc >= tau (not strict >)."""
+        p = lp(tau=8)
+        p.predict_and_update(0x400, 0)
+        p.predict_and_update(0x400, 16)    # s_acc = (0 + 16) >> 1 = 8
+        assert p.peek(0x400)[1] == 8
+        assert p.predict_and_update(0x400, 16) is True   # 8 >= 8
+
+    def test_tau_zero_routes_everything_after_first(self):
+        p = lp(tau=0)
+        p.predict_and_update(0x400, 5)
+        assert p.predict_and_update(0x400, 5) is True
+
+    def test_huge_tau_routes_nothing(self):
+        # Above the 14-bit s_acc saturation value nothing can qualify.
+        p = lp(tau=1 << 14)
+        addr = 0
+        for _ in range(30):
+            addr += 10**5
+            assert p.predict_and_update(0x400, addr) is False
+
+
+class TestUpdate:
+    def test_ema_accumulate_then_shift(self):
+        """Fig. 5 step 4: s_acc' = (s_acc + |stride|) >> 1."""
+        p = lp()
+        p.predict_and_update(0x400, 100)
+        p.predict_and_update(0x400, 110)      # stride 10
+        assert p.peek(0x400) == (110, 5)      # (0 + 10) >> 1
+        p.predict_and_update(0x400, 104)      # stride 6
+        assert p.peek(0x400) == (104, 5)      # (5 + 6) >> 1
+
+    def test_stride_is_absolute(self):
+        p = lp()
+        p.predict_and_update(0x400, 1000)
+        p.predict_and_update(0x400, 0)        # stride -1000 -> |.| = 1000
+        assert p.peek(0x400)[1] == 500
+
+    def test_saturation_at_field_width(self):
+        p = lp()
+        p.predict_and_update(0x400, 0)
+        p.predict_and_update(0x400, 1 << 40)
+        assert p.peek(0x400)[1] == (1 << 14) - 1
+
+    def test_addr_field_updated(self):
+        p = lp()
+        p.predict_and_update(0x400, 42)
+        p.predict_and_update(0x400, 77)
+        assert p.peek(0x400)[0] == 77
+
+
+class TestReplacement:
+    def test_lru_victim_in_set(self):
+        p = lp(entries=4, ways=2)     # 2 sets, indexed by (pc >> 2) & 1
+        # PCs 0, 8 and 16 all map to set 0.
+        p.predict_and_update(0, 1)
+        p.predict_and_update(8, 1)
+        p.predict_and_update(0, 2)    # refresh PC 0
+        p.predict_and_update(16, 1)   # evicts PC 8
+        assert p.peek(0) is not None
+        assert p.peek(8) is None
+        assert p.peek(16) is not None
+
+    def test_new_entry_initialized(self):
+        """§III-B3: victim re-initialized with addr = v@, s_acc = 0."""
+        p = lp(entries=4, ways=2)
+        p.predict_and_update(6, 999)
+        assert p.peek(6) == (999, 0)
+
+    def test_distinct_tags_share_set(self):
+        p = lp(entries=32, ways=8)    # 4 sets, indexed by (pc >> 2) & 3
+        p.predict_and_update(0, 1)
+        p.predict_and_update(16, 2)   # same set 0, different tag
+        assert p.peek(0) == (1, 0)
+        assert p.peek(16) == (2, 0)
+
+    def test_capacity_respected(self):
+        p = lp(entries=8, ways=8)     # fully associative
+        for pc in range(0, 80, 4):    # 20 distinct (4-aligned) PCs
+            p.predict_and_update(pc, pc)
+        assert sum(len(s) for s in p.sets) == 8
+
+
+class TestGeometry:
+    def test_fully_associative(self):
+        p = lp(entries=16, ways=16)
+        assert p.num_sets == 1
+        p.predict_and_update(12345, 1)
+        assert p.peek(12345) is not None
+
+    def test_direct_mapped(self):
+        p = lp(entries=8, ways=1)
+        assert p.num_sets == 8
+
+    def test_non_power_of_two_sets_rejected(self):
+        with pytest.raises(ValueError):
+            lp(entries=24, ways=8)   # 3 sets
+
+
+class TestStats:
+    def test_counters(self):
+        p = lp()
+        p.predict_and_update(0x400, 0)
+        p.predict_and_update(0x400, 10**6)
+        p.predict_and_update(0x400, 2 * 10**6)
+        s = p.stats
+        assert s.lookups == 3
+        assert s.table_hits == 2
+        assert s.table_misses == 1
+        assert s.predicted_irregular + s.predicted_regular == 3
+
+
+class TestProperties:
+    @given(st.lists(st.tuples(st.integers(0, 200),
+                              st.integers(0, 1 << 30)),
+                    min_size=1, max_size=300))
+    @settings(max_examples=50, deadline=None)
+    def test_never_crashes_and_capacity_bounded(self, stream):
+        p = lp()
+        for pc, addr in stream:
+            p.predict_and_update(pc, addr)
+        assert sum(len(s) for s in p.sets) <= 32
+        for s in p.sets:
+            assert len(s) <= 8
+            for entry in s.values():
+                assert 0 <= entry[1] <= (1 << 14) - 1

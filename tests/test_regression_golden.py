@@ -1,0 +1,67 @@
+"""Golden-value regression tests.
+
+A fixed synthetic trace is simulated under several variants and the
+exact counter values are pinned.  Any change to the cache state
+machines, routing, replacement, prefetching, DRAM or timing model shows
+up here immediately — if a change is *intentional*, regenerate the
+constants with the snippet in this file's git history (the simulation
+is fully deterministic).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import scaled_config
+from repro.core.system import SingleCoreSystem
+from repro.trace.layout import AddressSpace
+from repro.trace.record import ACCESS_DTYPE, Trace
+
+
+def golden_trace() -> Trace:
+    space = AddressSpace()
+    space.add("seq", 4, 1 << 14)
+    rnd = space.add("rnd", 4, 1 << 19, irregular_hint=True)
+    seq = space["seq"]
+    rng = np.random.default_rng(2026)
+    n = 6000
+    acc = np.zeros(n, dtype=ACCESS_DTYPE)
+    seq_idx = np.arange(n) % (1 << 14)
+    rnd_idx = rng.integers(0, 1 << 19, size=n)
+    use_rnd = rng.random(n) < 0.5
+    acc["addr"] = np.where(use_rnd, rnd.addr(rnd_idx), seq.addr(seq_idx))
+    acc["pc"] = np.where(use_rnd, 0x400024, 0x400048)
+    acc["write"] = rng.random(n) < 0.2
+    acc["gap"] = 2
+    acc["dep"] = -1
+    return Trace(acc, space)
+
+
+# (cycles, l1d_misses, l2c_misses, llc_misses, dram_reads, dram_writes,
+#  sdc_misses-or-None) per variant at scaled_config(64).
+GOLDEN = {
+    "baseline": (59239.75, 3191, 3042, 3029, 3029, 753, None),
+    "sdc_lp": (37604.5, 3, 3, 3, 2949, 570, 2947),
+    "topt": (57916.5, 3191, 3042, 2899, 2899, 685, None),
+    "victim": (59724.25, 3218, 3050, 3041, 3041, 751, None),
+}
+
+
+@pytest.mark.parametrize("variant", sorted(GOLDEN))
+def test_golden_counters(variant):
+    stats = SingleCoreSystem(scaled_config(64), variant).run(golden_trace())
+    cycles, l1m, l2m, llcm, dr, dw, sdcm = GOLDEN[variant]
+    assert stats.cycles == pytest.approx(cycles)
+    assert stats.l1d.misses == l1m
+    assert stats.l2c.misses == l2m
+    assert stats.llc.misses == llcm
+    assert stats.dram.reads == dr
+    assert stats.dram.writes == dw
+    if sdcm is None:
+        assert stats.sdc is None
+    else:
+        assert stats.sdc.misses == sdcm
+
+
+def test_golden_variant_ordering():
+    """The headline relation on this trace: sdc_lp < topt < baseline."""
+    assert GOLDEN["sdc_lp"][0] < GOLDEN["topt"][0] < GOLDEN["baseline"][0]

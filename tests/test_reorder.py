@@ -1,0 +1,118 @@
+"""Tests for the graph reordering (pre-processing) algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.graphs.csr import from_edges
+from repro.graphs.generators import kronecker_graph, grid_road_graph
+from repro.graphs.reorder import (ORDERINGS, apply_order, bfs_order,
+                                  degree_sort_order, estimated_cost,
+                                  random_order, rcm_order)
+from repro.kernels import connected_components, pagerank, triangle_count
+
+
+@pytest.fixture(scope="module")
+def kron():
+    return kronecker_graph(9, 6, seed=31)
+
+
+class TestApplyOrder:
+    def test_identity_preserves_graph(self, kron):
+        order = np.arange(kron.num_vertices)
+        g = apply_order(kron, order)
+        assert np.array_equal(g.out_oa, kron.out_oa)
+        assert np.array_equal(g.out_na, kron.out_na)
+
+    def test_relabeling_preserves_structure(self, kron):
+        """Graph invariants survive any permutation."""
+        g = apply_order(kron, random_order(kron, seed=5))
+        g.validate()
+        assert g.num_vertices == kron.num_vertices
+        assert g.num_edges == kron.num_edges
+        assert triangle_count(g) == triangle_count(kron)
+        assert len(np.unique(connected_components(g))) == \
+            len(np.unique(connected_components(kron)))
+
+    def test_degree_multiset_preserved(self, kron):
+        g = apply_order(kron, degree_sort_order(kron))
+        assert sorted(g.out_degrees().tolist()) == \
+            sorted(kron.out_degrees().tolist())
+
+    def test_pagerank_scores_permute(self, kron):
+        order = random_order(kron, seed=7)
+        g = apply_order(kron, order)
+        pr0 = pagerank(kron, max_iterations=20, epsilon=1e-10)
+        pr1 = pagerank(g, max_iterations=20, epsilon=1e-10)
+        # Old vertex order[i] became new vertex i.
+        assert np.allclose(pr1, pr0[order], atol=1e-9)
+
+    def test_weights_preserved(self):
+        g0 = grid_road_graph(8, seed=3)
+        g = apply_order(g0, random_order(g0, seed=1))
+        assert g.out_weights is not None
+        assert sorted(g.out_weights.tolist()) == \
+            sorted(g0.out_weights.tolist())
+
+    def test_invalid_order_rejected(self, kron):
+        with pytest.raises(ValueError):
+            apply_order(kron, np.zeros(kron.num_vertices, dtype=np.int64))
+        with pytest.raises(ValueError):
+            apply_order(kron, np.arange(3))
+
+
+class TestOrderings:
+    @pytest.mark.parametrize("name", sorted(ORDERINGS))
+    def test_all_orderings_are_permutations(self, name, kron):
+        order = ORDERINGS[name](kron)
+        assert len(order) == kron.num_vertices
+        assert len(np.unique(order)) == kron.num_vertices
+
+    def test_degree_sort_descending(self, kron):
+        order = degree_sort_order(kron)
+        deg = kron.out_degrees() + kron.in_degrees()
+        sorted_deg = deg[order]
+        assert (np.diff(sorted_deg) <= 0).all()
+
+    def test_bfs_order_starts_at_hub(self, kron):
+        order = bfs_order(kron)
+        assert order[0] == np.argmax(kron.out_degrees())
+
+    def test_rcm_reduces_bandwidth_on_mesh(self):
+        """RCM's defining property: on a banded-structure graph the
+        maximum |i - j| over edges (bandwidth) shrinks vs random."""
+        g = grid_road_graph(12, diagonal_fraction=0.0, seed=3)
+
+        def bandwidth(graph):
+            src = np.repeat(np.arange(graph.num_vertices),
+                            np.diff(graph.out_oa))
+            return int(np.abs(src - graph.out_na).max())
+
+        shuffled = apply_order(g, random_order(g, seed=9))
+        rcm = apply_order(shuffled, rcm_order(shuffled))
+        assert bandwidth(rcm) < bandwidth(shuffled) // 2
+
+    def test_rcm_covers_disconnected_components(self):
+        g = from_edges(np.array([[0, 1], [2, 3]]), num_vertices=6,
+                       symmetrize=True)
+        order = rcm_order(g)
+        assert len(np.unique(order)) == 6
+
+
+class TestCostModel:
+    def test_original_free(self, kron):
+        assert estimated_cost("original", kron) == 0
+
+    def test_costs_ordered_by_sophistication(self, kron):
+        costs = {name: estimated_cost(name, kron)
+                 for name in ("random", "degree", "bfs", "rcm")}
+        assert costs["rcm"] >= costs["bfs"]
+        assert all(c > 0 for c in costs.values())
+
+    def test_cost_exceeds_single_traversal(self, kron):
+        """The paper's §VI claim: preprocessing >> one traversal."""
+        traversal_touches = kron.num_vertices + kron.num_edges
+        assert estimated_cost("rcm", kron) > 3 * traversal_touches
+
+    def test_unknown_ordering_raises(self, kron):
+        with pytest.raises(ValueError):
+            estimated_cost("hilbert", kron)

@@ -1,0 +1,101 @@
+"""Tests for the SDCDir directory extension (§III-C)."""
+
+import pytest
+
+from repro.config import SDCDirConfig
+from repro.core.sdcdir import SDCDirectory
+
+
+def sdcdir(entries=16, ways=4, cores=1):
+    return SDCDirectory(SDCDirConfig(entries_per_core=entries, ways=ways),
+                        num_cores=cores)
+
+
+class TestBasics:
+    def test_insert_and_lookup(self):
+        d = sdcdir()
+        d.insert(100, core=0, dirty=False)
+        entry = d.lookup(100)
+        assert entry is not None
+        assert entry[0] == 1       # core 0 sharer bit
+
+    def test_lookup_miss(self):
+        d = sdcdir()
+        assert d.lookup(5) is None
+        assert d.stats.lookups == 1
+        assert d.stats.hits == 0
+
+    def test_sharer_bits_accumulate(self):
+        d = sdcdir(cores=4)
+        d.insert(7, core=0, dirty=False)
+        d.insert(7, core=2, dirty=False)
+        assert d.sharers(7) == 0b101
+
+    def test_dirty_ownership(self):
+        d = sdcdir(cores=2)
+        d.insert(7, core=1, dirty=True)
+        assert d.lookup(7)[1] == 1
+        d.mark_dirty(7, 0)
+        assert d.lookup(7)[1] == 0
+
+    def test_remove_sharer_drops_empty_entry(self):
+        d = sdcdir(cores=2)
+        d.insert(7, core=0, dirty=False)
+        d.insert(7, core=1, dirty=False)
+        d.remove_sharer(7, 0)
+        assert d.sharers(7) == 0b10
+        d.remove_sharer(7, 1)
+        assert d.lookup(7) is None
+
+    def test_remove_sharer_clears_ownership(self):
+        d = sdcdir(cores=2)
+        d.insert(7, core=0, dirty=True)
+        d.insert(7, core=1, dirty=False)
+        d.remove_sharer(7, 0)
+        assert d.lookup(7)[1] == -1
+
+    def test_drop(self):
+        d = sdcdir()
+        d.insert(3, 0, False)
+        d.drop(3)
+        assert d.lookup(3) is None
+        d.drop(3)      # idempotent
+
+
+class TestCapacity:
+    def test_eviction_on_full_set(self):
+        d = sdcdir(entries=4, ways=2)     # 2 sets
+        nsets = d.num_sets
+        d.insert(0, 0, False)
+        d.insert(nsets, 0, False)
+        displaced = d.insert(2 * nsets, 0, True)
+        assert displaced is not None
+        assert displaced[0] == 0          # LRU victim
+        assert d.stats.evictions == 1
+
+    def test_lru_respects_lookups(self):
+        d = sdcdir(entries=4, ways=2)
+        nsets = d.num_sets
+        d.insert(0, 0, False)
+        d.insert(nsets, 0, False)
+        d.lookup(0)                        # refresh block 0
+        displaced = d.insert(2 * nsets, 0, False)
+        assert displaced[0] == nsets
+
+    def test_displaced_entry_reports_sharers(self):
+        d = sdcdir(entries=2, ways=1, cores=4)   # 2 sets x 1 way
+        d.insert(0, 1, True)
+        disp = d.insert(d.num_sets, 2, False)    # same set as block 0
+        assert disp is not None
+        assert disp[0] == 0
+        assert disp[1] == 1 << 1     # core 1 held it
+        assert disp[2] == 1          # dirty owner was core 1
+
+    def test_entries_scale_with_cores(self):
+        assert sdcdir(entries=128, ways=8, cores=4).entries == 512
+
+    def test_tracked_blocks(self):
+        d = sdcdir()
+        for b in (1, 2, 3):
+            d.insert(b, 0, False)
+        assert set(d.tracked_blocks()) == {1, 2, 3}

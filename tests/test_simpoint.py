@@ -1,0 +1,79 @@
+"""Tests for SimPoint-style interval selection."""
+
+import numpy as np
+import pytest
+
+from repro.trace.layout import AddressSpace
+from repro.trace.record import TraceBuilder
+from repro.trace.simpoint import (interval_features, select_simpoints,
+                                  weighted_metric)
+
+
+def phase_trace(phases, per_phase=1000):
+    """Build a trace with distinct-PC phases."""
+    space = AddressSpace()
+    arr = space.add("a", 4, 100000)
+    tb = TraceBuilder(space)
+    for p in range(phases):
+        pc = tb.pc(f"phase{p}")
+        tb.emit(pc, arr.addr(np.arange(per_phase) + p * per_phase))
+    return tb.build()
+
+
+class TestFeatures:
+    def test_shape(self):
+        trace = phase_trace(3, 600)
+        feats = interval_features(trace, 200)
+        assert feats.shape == (9, 3)
+
+    def test_rows_normalized(self):
+        feats = interval_features(phase_trace(2, 500), 100)
+        assert np.allclose(feats.sum(axis=1), 1.0)
+
+    def test_pure_phases_one_hot(self):
+        feats = interval_features(phase_trace(2, 400), 400)
+        assert np.allclose(feats.max(axis=1), 1.0)
+
+    def test_invalid_interval_raises(self):
+        with pytest.raises(ValueError):
+            interval_features(phase_trace(1, 100), 0)
+
+
+class TestSelection:
+    def test_weights_sum_to_one(self):
+        pts = select_simpoints(phase_trace(4, 500), 250, k=4)
+        assert sum(p.weight for p in pts) == pytest.approx(1.0)
+
+    def test_distinct_phases_get_distinct_points(self):
+        pts = select_simpoints(phase_trace(3, 900), 300, k=3, seed=1)
+        starts = {p.start // 900 for p in pts}
+        assert len(starts) == 3   # one representative per phase
+
+    def test_deterministic(self):
+        t = phase_trace(3, 600)
+        a = select_simpoints(t, 200, k=3, seed=5)
+        b = select_simpoints(t, 200, k=3, seed=5)
+        assert [(p.start, p.weight) for p in a] == \
+            [(p.start, p.weight) for p in b]
+
+    def test_k_larger_than_intervals(self):
+        pts = select_simpoints(phase_trace(1, 300), 300, k=10)
+        assert len(pts) == 1
+        assert pts[0].weight == 1.0
+
+    def test_points_sorted_by_start(self):
+        pts = select_simpoints(phase_trace(4, 400), 100, k=4, seed=2)
+        assert [p.start for p in pts] == sorted(p.start for p in pts)
+
+
+class TestWeightedMetric:
+    def test_weighted_combination(self):
+        pts = select_simpoints(phase_trace(2, 500), 500, k=2)
+        vals = [10.0, 30.0]
+        est = weighted_metric(pts, vals)
+        assert min(vals) <= est <= max(vals)
+
+    def test_mismatched_lengths_raise(self):
+        pts = select_simpoints(phase_trace(2, 500), 500, k=2)
+        with pytest.raises(ValueError):
+            weighted_metric(pts, [1.0])

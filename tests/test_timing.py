@@ -1,0 +1,146 @@
+"""Tests for the interval timing model (DESIGN.md §5)."""
+
+import pytest
+
+from repro.config import CoreConfig
+from repro.mem.timing import CoreTimer
+
+
+def timer(width=4, rob=224, mshr=10, hit_lat=4):
+    return CoreTimer(CoreConfig(width=width, rob_entries=rob), mshr,
+                     hit_lat)
+
+
+class TestIssueBandwidth:
+    def test_hits_bound_by_issue_rate(self):
+        t = timer()
+        for _ in range(1000):
+            t.access(gap=3, latency=4, dep_completion=None)
+        # 4 instructions per access at width 4 = 1 cycle per access.
+        assert t.cycles == pytest.approx(1000 + 4, rel=0.05)
+        assert t.ipc == pytest.approx(4.0, rel=0.05)
+
+    def test_instruction_count(self):
+        t = timer()
+        for _ in range(10):
+            t.access(gap=2, latency=4, dep_completion=None)
+        assert t.instructions == 30
+
+
+class TestMLP:
+    def test_independent_misses_overlap(self):
+        t_many = timer(mshr=10)
+        for _ in range(100):
+            t_many.access(gap=0, latency=200, dep_completion=None)
+        t_one = timer(mshr=1)
+        for _ in range(100):
+            t_one.access(gap=0, latency=200, dep_completion=None)
+        # With MSHR=10 the misses pipeline ~10 deep.
+        assert t_many.cycles < t_one.cycles / 5
+
+    def test_mshr_serializes_excess_misses(self):
+        t = timer(mshr=2)
+        for _ in range(10):
+            t.access(gap=0, latency=100, dep_completion=None)
+        # 10 misses, 2 at a time -> at least 5 rounds of 100 cycles.
+        assert t.cycles >= 500
+
+    def test_hits_do_not_occupy_mshrs(self):
+        t = timer(mshr=1, hit_lat=4)
+        t.access(gap=0, latency=300, dep_completion=None)   # miss
+        # Hits (latency == hit) should not wait for the miss.
+        c = t.access(gap=0, latency=4, dep_completion=None)
+        assert c < 300
+
+    def test_invalid_mshr_raises(self):
+        with pytest.raises(ValueError):
+            timer(mshr=0)
+
+
+class TestDependencies:
+    def test_dependent_load_serializes(self):
+        t = timer()
+        c1 = t.access(gap=0, latency=200, dep_completion=None)
+        c2 = t.access(gap=0, latency=200, dep_completion=c1)
+        assert c2 >= c1 + 200
+
+    def test_independent_load_does_not_wait(self):
+        t = timer()
+        c1 = t.access(gap=0, latency=200, dep_completion=None)
+        c2 = t.access(gap=0, latency=200, dep_completion=None)
+        assert c2 < c1 + 200
+
+    def test_pointer_chase_is_latency_bound(self):
+        """A dependent chain of N misses costs ~N x latency."""
+        t = timer()
+        c = None
+        for _ in range(50):
+            c = t.access(gap=0, latency=100, dep_completion=c)
+        assert t.cycles >= 50 * 100
+
+    def test_stale_dep_is_free(self):
+        t = timer()
+        c1 = t.access(gap=0, latency=4, dep_completion=None)
+        for _ in range(100):
+            t.access(gap=0, latency=4, dep_completion=None)
+        c = t.access(gap=0, latency=4, dep_completion=c1)
+        assert c > c1    # already completed; no extra stall
+
+
+class TestROB:
+    def test_rob_limits_runahead(self):
+        # Tiny ROB: the front end cannot slide past a long miss.
+        t_small = timer(rob=32, mshr=64)
+        t_big = timer(rob=4096, mshr=64)
+        for t in (t_small, t_big):
+            t.access(gap=0, latency=5000, dep_completion=None)
+            for _ in range(200):
+                t.access(gap=0, latency=4, dep_completion=None)
+        assert t_small.cycles >= t_big.cycles
+
+    def test_window_size_floor(self):
+        t = timer(rob=8)
+        assert t.rob_window >= 8
+
+
+class TestMSHRPools:
+    def test_pools_independent(self):
+        """SDC-pool misses do not consume L1-pool MSHRs (Table I gives
+        each structure its own MSHR file)."""
+        t_two_pools = timer(mshr=2)
+        for i in range(20):
+            t_two_pools.access(gap=0, latency=100, dep_completion=None,
+                               pool=i % 2)
+        t_one_pool = timer(mshr=2)
+        for _ in range(20):
+            t_one_pool.access(gap=0, latency=100, dep_completion=None,
+                              pool=0)
+        assert t_two_pools.cycles < t_one_pool.cycles
+
+    def test_separate_sdc_pool_size(self):
+        from repro.config import CoreConfig
+        from repro.mem.timing import CoreTimer
+        t = CoreTimer(CoreConfig(), 4, 4, sdc_mshr_entries=16)
+        assert t._limits == (4, 16)
+
+    def test_default_sdc_pool_mirrors_l1(self):
+        assert timer(mshr=7)._limits == (7, 7)
+
+
+class TestAggregates:
+    def test_cycles_max_of_streams(self):
+        t = timer()
+        t.access(gap=0, latency=1000, dep_completion=None)
+        assert t.cycles >= 1000
+
+    def test_ipc_zero_before_any_access(self):
+        assert timer().ipc == 0.0
+
+    def test_completion_monotone_per_dep_chain(self):
+        t = timer()
+        prev = 0.0
+        c = None
+        for _ in range(20):
+            c = t.access(gap=1, latency=50, dep_completion=c)
+            assert c > prev
+            prev = c

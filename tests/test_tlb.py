@@ -1,0 +1,107 @@
+"""Tests for the TLB hierarchy (Table I: L1 DTLB + L2 TLB)."""
+
+import pytest
+
+from repro.mem.tlb import (L1_DTLB, L2_TLB, PAGE_BITS, TLBConfig,
+                           TLBHierarchy)
+
+PAGE = 1 << PAGE_BITS
+
+
+class TestConfig:
+    def test_table1_geometries(self):
+        assert L1_DTLB.entries == 64 and L1_DTLB.ways == 4
+        assert L1_DTLB.latency == 1
+        assert L2_TLB.entries == 1536 and L2_TLB.ways == 12
+        assert L2_TLB.latency == 8
+        assert L1_DTLB.num_sets == 16
+        assert L2_TLB.num_sets == 128
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            _ = TLBConfig("x", 10, 3, 1).num_sets
+
+
+class TestTranslation:
+    def test_first_access_walks(self):
+        t = TLBHierarchy()
+        lat = t.translate(0x1000)
+        assert lat == L2_TLB.latency + t.walk_latency
+        assert t.stats.walks == 1
+
+    def test_l1_hit_is_free(self):
+        """VIPT overlap: a DTLB hit adds zero cycles."""
+        t = TLBHierarchy()
+        t.translate(0x1000)
+        assert t.translate(0x1000) == 0
+        assert t.translate(0x1FFF) == 0        # same page
+        assert t.stats.l1_hits == 2
+
+    def test_l2_hit_after_l1_eviction(self):
+        t = TLBHierarchy()
+        t.translate(0)
+        # Evict page 0 from the 4-way L1 set without leaving the L2.
+        nsets = t.l1.num_sets
+        for i in range(1, 5):
+            t.translate(i * nsets * PAGE)
+        lat = t.translate(0)
+        assert lat == L2_TLB.latency
+        assert t.stats.l2_hits == 1
+
+    def test_same_block_page_precomputed(self):
+        t = TLBHierarchy()
+        assert t.translate_page(5) == t.walk_latency + L2_TLB.latency
+        assert t.translate_page(5) == 0
+
+    def test_sequential_scan_cheap(self):
+        """A streaming workload touches each page 64 times: one walk per
+        64 block accesses."""
+        t = TLBHierarchy()
+        for block in range(64 * 16):
+            t.translate(block * 64)
+        assert t.stats.walks == 16
+        assert t.stats.l1_miss_rate < 0.05
+
+    def test_random_large_footprint_walks_often(self):
+        import numpy as np
+        t = TLBHierarchy()
+        rng = np.random.default_rng(0)
+        for page in rng.integers(0, 1 << 20, size=4000):
+            t.translate_page(int(page))
+        # Footprint of 1M pages vastly exceeds 1536 L2 TLB entries.
+        assert t.stats.walks > 3500
+
+    def test_stats_accounting(self):
+        t = TLBHierarchy()
+        t.translate(0)
+        t.translate(0)
+        s = t.stats
+        assert s.accesses == 2
+        assert s.l1_hits + s.l2_hits + s.walks == s.accesses
+
+
+class TestSystemIntegration:
+    def test_tlb_enabled_by_default(self):
+        from repro.config import scaled_config
+        from repro.core.system import SingleCoreSystem
+        s = SingleCoreSystem(scaled_config(64))
+        assert s.tlb is not None
+
+    def test_tlb_latency_slows_irregular_workloads(self):
+        import numpy as np
+        from repro.config import scaled_config
+        from repro.core.system import SingleCoreSystem
+        from repro.trace.layout import AddressSpace
+        from repro.trace.record import TraceBuilder
+        space = AddressSpace()
+        arr = space.add("big", 4, 1 << 22)
+        tb = TraceBuilder(space)
+        rng = np.random.default_rng(1)
+        tb.emit(tb.pc("r"), arr.addr(rng.integers(0, 1 << 22, 5000)))
+        trace = tb.build()
+        cfg = scaled_config(64)
+        with_tlb = SingleCoreSystem(cfg, enable_tlb=True).run(trace)
+        without = SingleCoreSystem(cfg, enable_tlb=False).run(trace)
+        assert with_tlb.cycles > without.cycles
+        assert with_tlb.tlb is not None
+        assert without.tlb is None

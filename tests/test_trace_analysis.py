@@ -1,0 +1,104 @@
+"""Tests for the reuse-distance / footprint trace analysis."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.analysis import (INFINITE, footprint, miss_ratio_curve,
+                                  region_reuse_profile, reuse_cdf,
+                                  reuse_distances)
+
+
+class TestReuseDistances:
+    def test_first_touches_infinite(self):
+        d = reuse_distances(np.array([1, 2, 3]))
+        assert (d == INFINITE).all()
+
+    def test_immediate_reuse_zero(self):
+        d = reuse_distances(np.array([5, 5]))
+        assert d[1] == 0
+
+    def test_textbook_example(self):
+        # a b c a : distance of the second 'a' is 2 (b and c between).
+        d = reuse_distances(np.array([1, 2, 3, 1]))
+        assert d[3] == 2
+
+    def test_duplicates_between_count_once(self):
+        # a b b a : only one distinct block between the two a's.
+        d = reuse_distances(np.array([1, 2, 2, 1]))
+        assert d[3] == 1
+
+    def test_cyclic_pattern(self):
+        blocks = np.tile(np.arange(4), 5)
+        d = reuse_distances(blocks)
+        assert (d[4:] == 3).all()
+
+    @given(st.lists(st.integers(0, 10), min_size=1, max_size=120))
+    @settings(max_examples=50, deadline=None)
+    def test_matches_naive_reference(self, blocks):
+        blocks = np.array(blocks)
+        d = reuse_distances(blocks)
+        last = {}
+        for i, b in enumerate(blocks.tolist()):
+            if b in last:
+                expected = len(set(blocks[last[b] + 1:i].tolist()))
+                assert d[i] == expected
+            else:
+                assert d[i] == INFINITE
+            last[b] = i
+
+
+class TestMissRatioCurve:
+    def test_lru_equivalence(self):
+        """Mattson: FA-LRU misses at capacity C == distances >= C."""
+        rng = np.random.default_rng(3)
+        blocks = rng.integers(0, 30, size=400)
+        for cap in (4, 8, 16):
+            mrc = miss_ratio_curve(blocks, [cap])[0]
+            # Simulate FA-LRU directly.
+            from collections import OrderedDict
+            lru: OrderedDict = OrderedDict()
+            misses = 0
+            for b in blocks.tolist():
+                if b in lru:
+                    lru.move_to_end(b)
+                else:
+                    misses += 1
+                    if len(lru) >= cap:
+                        lru.popitem(last=False)
+                    lru[b] = True
+            assert mrc == pytest.approx(misses / len(blocks))
+
+    def test_monotone_in_capacity(self):
+        rng = np.random.default_rng(4)
+        blocks = rng.integers(0, 64, size=500)
+        mrc = miss_ratio_curve(blocks, [1, 4, 16, 64, 256])
+        assert all(a >= b for a, b in zip(mrc, mrc[1:]))
+
+    def test_empty(self):
+        assert miss_ratio_curve(np.array([], dtype=np.int64), [8]) == [0.0]
+
+
+class TestHelpers:
+    def test_footprint(self):
+        assert footprint(np.array([1, 1, 2, 9])) == 3
+
+    def test_reuse_cdf_bounds(self):
+        d = reuse_distances(np.tile(np.arange(8), 3))
+        cdf = reuse_cdf(d, [0, 7, 100])
+        assert cdf[0] <= cdf[1] <= cdf[2] == 1.0
+
+    def test_reuse_cdf_no_reuse(self):
+        d = reuse_distances(np.arange(10))
+        assert reuse_cdf(d, [1000]) == [0.0]
+
+    def test_region_profile(self, pr_trace):
+        profile = region_reuse_profile(pr_trace)
+        assert "outgoing_contrib" in profile
+        contrib = profile["outgoing_contrib"]
+        na = profile["in_na"]
+        assert contrib["accesses"] > 0
+        # The irregular gather has far larger reuse distances than the
+        # streaming NA reads.
+        assert contrib["median_reuse"] > na["median_reuse"]

@@ -1,0 +1,101 @@
+"""Tests for the address-space layout."""
+
+import numpy as np
+import pytest
+
+from repro.trace.layout import PAGE, AddressSpace
+
+
+class TestAddressSpace:
+    def test_regions_page_aligned_and_disjoint(self):
+        space = AddressSpace()
+        a = space.add("a", 4, 1000)
+        b = space.add("b", 8, 500)
+        c = space.add("c", 1, 10)
+        for r in (a, b, c):
+            assert r.base % PAGE == 0
+        assert a.end <= b.base
+        assert b.end <= c.base
+
+    def test_guard_page_between_regions(self):
+        space = AddressSpace()
+        a = space.add("a", 4, 1024)          # exactly one page
+        b = space.add("b", 4, 1)
+        assert b.base - a.end >= PAGE
+
+    def test_addr_scalar_and_vector(self):
+        space = AddressSpace()
+        r = space.add("a", 4, 100)
+        assert r.addr(0) == r.base
+        assert r.addr(5) == r.base + 20
+        addrs = r.addr(np.array([0, 1, 2]))
+        assert list(addrs) == [r.base, r.base + 4, r.base + 8]
+
+    def test_region_of(self):
+        space = AddressSpace()
+        a = space.add("a", 4, 100)
+        b = space.add("b", 8, 10)
+        assert space.region_of(a.base + 12).name == "a"
+        assert space.region_of(b.base).name == "b"
+        assert space.region_of(a.end + 1) is None       # guard gap
+        assert space.region_of(0) is None
+
+    def test_duplicate_name_raises(self):
+        space = AddressSpace()
+        space.add("a", 4, 10)
+        with pytest.raises(ValueError):
+            space.add("a", 4, 10)
+
+    def test_invalid_params_raise(self):
+        space = AddressSpace()
+        with pytest.raises(ValueError):
+            space.add("x", 0, 10)
+        with pytest.raises(ValueError):
+            space.add("y", 4, -1)
+
+    def test_zero_length_region_allowed(self):
+        space = AddressSpace()
+        r = space.add("empty", 4, 0)
+        assert r.size == 0
+
+    def test_classify_addresses_vectorized(self):
+        space = AddressSpace()
+        a = space.add("a", 4, 100)
+        b = space.add("b", 4, 100, irregular_hint=True)
+        addrs = np.array([a.base, a.base + 4, b.base, b.end + 5, 0],
+                         dtype=np.int64)
+        rids = space.classify_addresses(addrs)
+        assert list(rids) == [0, 0, 1, -1, -1]
+
+    def test_classify_matches_region_of(self):
+        space = AddressSpace()
+        space.add("a", 4, 64)
+        space.add("b", 8, 32)
+        space.add("c", 2, 1000)
+        rng = np.random.default_rng(1)
+        addrs = rng.integers(space["a"].base - 100,
+                             space["c"].end + 100, size=200)
+        rids = space.classify_addresses(addrs)
+        names = list(space.regions)
+        for addr, rid in zip(addrs, rids):
+            region = space.region_of(int(addr))
+            assert (region.name if region else None) == \
+                (names[rid] if rid >= 0 else None)
+
+    def test_irregular_hint_recorded(self):
+        space = AddressSpace()
+        r = space.add("prop", 4, 10, irregular_hint=True)
+        assert r.irregular_hint
+        assert "irregular" in space.describe()
+
+    def test_contains_lookup(self):
+        space = AddressSpace()
+        space.add("a", 4, 10)
+        assert "a" in space
+        assert "b" not in space
+
+    def test_region_ids_stable_order(self):
+        space = AddressSpace()
+        space.add("z", 4, 10)
+        space.add("a", 4, 10)
+        assert space.region_ids() == {"z": 0, "a": 1}
