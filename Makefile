@@ -1,0 +1,14 @@
+# Convenience targets; everything assumes PYTHONPATH=src (no install).
+
+PY := PYTHONPATH=src python
+
+.PHONY: test bench bench-engine
+
+test:                 ## tier-1 test suite
+	$(PY) -m pytest -q
+
+bench:                ## full paper-reproduction benchmark run
+	$(PY) -m pytest benchmarks/ --benchmark-only
+
+bench-engine:         ## throughput smoke: regenerates BENCH_engine.json
+	$(PY) -m pytest -q benchmarks/test_engine_throughput.py

@@ -1,0 +1,75 @@
+"""Micro benchmark: simulated accesses/sec through the single-core
+hot path, recorded to ``BENCH_engine.json``.
+
+This is the measurement behind the hot-path optimization work (shift/
+mask set indexing, dict-order LRU, inlined fill/probe paths): the
+number is recorded, not asserted, so regressions show up in the JSON
+trajectory rather than as flaky CI failures.  ``make bench-engine``
+runs just this file.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from repro.config import scaled_config
+from repro.core.system import SingleCoreSystem
+from repro.graphs import kronecker_graph
+from repro.trace.kernels import trace_pagerank
+
+#: The micro benchmark: PageRank over a 4k-vertex Kronecker graph,
+#: 50k-access window — large enough to exercise every hierarchy level,
+#: small enough to time in seconds.
+BENCH_SPEC = dict(scale=12, degree=8, seed=1, accesses=50_000)
+VARIANTS = ("baseline", "sdc_lp")
+REPEATS = 3
+
+_OUT = Path(__file__).resolve().parents[1] / "BENCH_engine.json"
+
+
+def _bench_trace():
+    g = kronecker_graph(BENCH_SPEC["scale"], BENCH_SPEC["degree"],
+                        seed=BENCH_SPEC["seed"])
+    return trace_pagerank(g, iterations=1,
+                          max_accesses=BENCH_SPEC["accesses"])
+
+
+def _throughput(trace, cfg, variant: str) -> float:
+    """Best-of-N accesses/sec for one variant."""
+    best = float("inf")
+    for _ in range(REPEATS):
+        system = SingleCoreSystem(cfg, variant)
+        t0 = time.perf_counter()
+        system.run(trace)
+        best = min(best, time.perf_counter() - t0)
+    return len(trace) / best
+
+
+def test_engine_throughput(show):
+    trace = _bench_trace()
+    cfg = scaled_config(16)
+    result = {
+        "benchmark": "pagerank/kron(12,8) 50k-access window, best of "
+                     f"{REPEATS}",
+        "accesses": len(trace),
+        "accesses_per_sec": {},
+    }
+    # Carry historical reference points (e.g. the seed-commit numbers
+    # measured when the hot path was optimized) across reruns.
+    if _OUT.exists():
+        try:
+            result["seed_reference"] = \
+                json.loads(_OUT.read_text())["seed_reference"]
+        except (KeyError, ValueError):
+            pass
+    lines = ["Engine throughput (accesses/sec):"]
+    for variant in VARIANTS:
+        aps = _throughput(trace, cfg, variant)
+        result["accesses_per_sec"][variant] = round(aps)
+        lines.append(f"  {variant:10} {aps:>12,.0f}")
+    _OUT.write_text(json.dumps(result, indent=2) + "\n")
+    lines.append(f"  -> {_OUT.name}")
+    show("\n".join(lines))
+    assert all(v > 0 for v in result["accesses_per_sec"].values())

@@ -29,6 +29,12 @@ def _common(parser: argparse.ArgumentParser) -> None:
                         help="trace window length (accesses)")
     parser.add_argument("--tier", default="medium",
                         help="graph size tier (tiny/small/medium/large)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for grid experiments")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache")
+    parser.add_argument("--progress", action="store_true",
+                        help="print one line per finished grid cell")
 
 
 def _workloads(args):
@@ -92,41 +98,47 @@ def main(argv=None) -> int:
         return _run_one(args)
 
     kw = dict(tier=args.tier, length=args.length)
+    # Grid-shaped commands run on the parallel engine; the rest are
+    # single-simulation studies that take only tier/length.
+    from repro.experiments.parallel import print_progress
+    gkw = dict(kw, jobs=args.jobs, use_cache=not args.no_cache,
+               progress=print_progress
+               if (args.progress or args.jobs > 1) else None)
     wls = _workloads(args)
     if cmd == "fig2":
-        print(report.render_fig2(figures.fig2_mpki(wls, **kw)))
+        print(report.render_fig2(figures.fig2_mpki(wls, **gkw)))
     elif cmd == "fig3":
         print(report.render_fig3(figures.fig3_stride_dram(**kw)))
     elif cmd == "fig7":
-        print(report.render_fig7(figures.fig7_single_core(wls, **kw)))
+        print(report.render_fig7(figures.fig7_single_core(wls, **gkw)))
     elif cmd == "fig8":
         print(report.render_mpki_compare(
-            figures.fig8_l2_llc_mpki(wls, **kw), ("l2c", "llc"),
+            figures.fig8_l2_llc_mpki(wls, **gkw), ("l2c", "llc"),
             "Fig. 8 — L2C/LLC MPKI, Baseline vs SDC+LP"))
     elif cmd == "fig9":
         print(report.render_mpki_compare(
-            figures.fig9_l1_sdc_mpki(wls, **kw), ("l1d", "sdc"),
+            figures.fig9_l1_sdc_mpki(wls, **gkw), ("l1d", "sdc"),
             "Fig. 9 — L1D/SDC MPKI, Baseline vs SDC+LP"))
     elif cmd == "fig10":
-        print(report.render_fig10(figures.fig10_sdc_size(wls, **kw)))
+        print(report.render_fig10(figures.fig10_sdc_size(wls, **gkw)))
     elif cmd == "fig11":
-        print(report.render_sweep(figures.fig11_lp_entries(wls, **kw),
+        print(report.render_sweep(figures.fig11_lp_entries(wls, **gkw),
                                   "entries"))
     elif cmd == "fig12":
-        print(report.render_sweep(figures.fig12_lp_assoc(wls, **kw),
+        print(report.render_sweep(figures.fig12_lp_assoc(wls, **gkw),
                                   "ways"))
     elif cmd == "tau":
-        print(report.render_tau_sweep(figures.tau_sweep(wls, **kw)))
+        print(report.render_tau_sweep(figures.tau_sweep(wls, **gkw)))
     elif cmd == "fig13":
-        print(report.render_fig13(figures.fig13_expert(wls, **kw)))
+        print(report.render_fig13(figures.fig13_expert(wls, **gkw)))
     elif cmd == "ablation":
-        print(report.render_ablation(figures.ablation_study(wls, **kw)))
+        print(report.render_ablation(figures.ablation_study(wls, **gkw)))
     elif cmd == "replacement":
         print(report.render_policy_study(
-            figures.replacement_study(wls, **kw)))
+            figures.replacement_study(wls, **gkw)))
     elif cmd == "prefetchers":
         print(report.render_prefetcher_study(
-            figures.prefetcher_study(wls, **kw)))
+            figures.prefetcher_study(wls, **gkw)))
     elif cmd == "preprocessing":
         print(report.render_preprocessing_study(
             figures.preprocessing_study(length=args.length,
@@ -139,7 +151,12 @@ def main(argv=None) -> int:
     elif cmd == "fig14":
         res = figures.fig14_multicore(num_mixes=args.mixes,
                                       tier=args.tier,
-                                      length=args.length // 2)
+                                      length=args.length // 2,
+                                      jobs=args.jobs,
+                                      use_cache=not args.no_cache,
+                                      progress=print_progress
+                                      if (args.progress or args.jobs > 1)
+                                      else None)
         print(report.render_fig14(res))
     return 0
 

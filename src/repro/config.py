@@ -12,6 +12,8 @@ matches the paper's regime.
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 
 BLOCK_SIZE = 64
@@ -171,6 +173,18 @@ class SystemConfig:
     # before going to DRAM (paper §III-A: "a lightweight coherence
     # message is sent to the cache directory").
     sdc_miss_dir_latency: int = 1
+
+    def digest(self) -> str:
+        """Deterministic fingerprint of the full configuration.
+
+        Two structurally-equal configs produce the same digest; any
+        field change (a resized cache, a different tau) produces a
+        different one.  Used by the experiment result cache to key
+        simulation outputs on the exact system being simulated.
+        """
+        payload = dataclasses.asdict(self)
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
     def describe(self) -> str:
         """Human-readable configuration dump (cf. paper Table I)."""

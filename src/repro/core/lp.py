@@ -31,6 +31,30 @@ class LPStats:
     predicted_regular: int = 0
 
 
+class LPEntry:
+    """One LP table entry: fixed slots for the paper's three fields.
+
+    ``__slots__`` keeps each entry to a compact fixed layout (no
+    per-instance dict) so the per-access field reads/writes in
+    :meth:`LargePredictor.predict_and_update` stay cheap.
+    """
+
+    __slots__ = ("addr", "s_acc", "stamp")
+
+    def __init__(self, addr: int, s_acc: int, stamp: int):
+        self.addr = addr
+        self.s_acc = s_acc
+        self.stamp = stamp
+
+    def __getitem__(self, i: int) -> int:
+        # Tuple-style view (addr, s_acc, stamp) for tests/inspection.
+        return (self.addr, self.s_acc, self.stamp)[i]
+
+    def __repr__(self) -> str:
+        return (f"LPEntry(addr={self.addr}, s_acc={self.s_acc}, "
+                f"stamp={self.stamp})")
+
+
 class LargePredictor:
     """PC-indexed stride-accumulator predictor."""
 
@@ -47,10 +71,11 @@ class LargePredictor:
         # zero for 4-byte-aligned PCs and would leave 3 of 4 sets
         # unused), so we index with PC >> 2.
         self._align_bits = 2
+        self._set_mask = self.num_sets - 1
         self._s_acc_max = (1 << self.config.stride_bits) - 1
-        # Per set: dict tag -> [addr, s_acc, lru_stamp]
-        self.sets: list[dict[int, list[int]]] = [dict()
-                                                 for _ in range(self.num_sets)]
+        # Per set: dict tag -> LPEntry
+        self.sets: list[dict[int, LPEntry]] = [dict()
+                                               for _ in range(self.num_sets)]
         self._clock = 0
         self.stats = LPStats()
 
@@ -62,29 +87,30 @@ class LargePredictor:
         st = self.stats
         st.lookups += 1
         idx = pc >> self._align_bits
-        set_idx = idx & (self.num_sets - 1) if self.num_sets > 1 else 0
-        tag = idx >> self._set_bits
-        lines = self.sets[set_idx]
-        self._clock += 1
-        entry = lines.get(tag)
+        lines = self.sets[idx & self._set_mask]
+        clock = self._clock + 1
+        self._clock = clock
+        entry = lines.get(idx >> self._set_bits)
         if entry is not None:
             st.table_hits += 1
-            irregular = entry[1] >= self.tau
+            s_acc = entry.s_acc
+            irregular = s_acc >= self.tau
             # Update: accumulate |stride| then right-shift (Fig. 5 step 4).
-            stride = block_addr - entry[0]
+            stride = block_addr - entry.addr
             if stride < 0:
                 stride = -stride
-            s_acc = (entry[1] + stride) >> 1
-            entry[1] = s_acc if s_acc <= self._s_acc_max else self._s_acc_max
-            entry[0] = block_addr
-            entry[2] = self._clock
+            s_acc = (s_acc + stride) >> 1
+            entry.s_acc = (s_acc if s_acc <= self._s_acc_max
+                           else self._s_acc_max)
+            entry.addr = block_addr
+            entry.stamp = clock
         else:
             st.table_misses += 1
             irregular = False
             if len(lines) >= self.ways:
-                victim = min(lines, key=lambda t: lines[t][2])
+                victim = min(lines, key=lambda t: lines[t].stamp)
                 del lines[victim]
-            lines[tag] = [block_addr, 0, self._clock]
+            lines[idx >> self._set_bits] = LPEntry(block_addr, 0, clock)
         if irregular:
             st.predicted_irregular += 1
         else:
@@ -94,6 +120,5 @@ class LargePredictor:
     def peek(self, pc: int) -> tuple[int, int] | None:
         """Read (addr, s_acc) for a PC without updating (testing aid)."""
         idx = pc >> self._align_bits
-        set_idx = idx & (self.num_sets - 1) if self.num_sets > 1 else 0
-        entry = self.sets[set_idx].get(idx >> self._set_bits)
-        return None if entry is None else (entry[0], entry[1])
+        entry = self.sets[idx & self._set_mask].get(idx >> self._set_bits)
+        return None if entry is None else (entry.addr, entry.s_acc)

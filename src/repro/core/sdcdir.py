@@ -38,20 +38,32 @@ class SDCDirectory:
         # dirty_core is -1 when clean, else the owning core id.
         self.sets: list[dict[int, list[int]]] = [dict()
                                                  for _ in range(self.num_sets)]
+        # Power-of-two set counts (the common case) index with a mask;
+        # sentinel -1 selects the mod fallback.
+        if self.num_sets & (self.num_sets - 1) == 0:
+            self._set_mask = self.num_sets - 1
+        else:
+            self._set_mask = -1
         self._clock = 0
         self.stats = SDCDirStats()
 
     def _lines(self, block: int) -> dict[int, list[int]]:
-        return self.sets[block % self.num_sets]
+        mask = self._set_mask
+        return self.sets[block & mask if mask >= 0
+                         else block % self.num_sets]
 
     def lookup(self, block: int) -> list[int] | None:
         """Probe without allocation; returns the entry or None."""
         self.stats.lookups += 1
-        entry = self._lines(block).get(block)
+        lines = self._lines(block)
+        entry = lines.get(block)
         if entry is not None:
             self.stats.hits += 1
             self._clock += 1
             entry[2] = self._clock
+            # Keep each set's dict in LRU order (see insert()).
+            del lines[block]
+            lines[block] = entry
         return entry
 
     def sharers(self, block: int) -> int:
@@ -74,11 +86,15 @@ class SDCDirectory:
             if dirty:
                 entry[1] = core
             entry[2] = self._clock
+            del lines[block]
+            lines[block] = entry
             return None
         self.stats.inserts += 1
         displaced = None
         if len(lines) >= self.ways:
-            victim = min(lines, key=lambda b: lines[b][2])
+            # Dict order is LRU order (every recency bump moves the
+            # entry to the end), so the victim is the first key.
+            victim = next(iter(lines))
             v = lines.pop(victim)
             self.stats.evictions += 1
             displaced = [victim, v[0], v[1]]

@@ -84,6 +84,48 @@ class SystemStats:
         m = self.l1d.misses + (self.sdc.misses if self.sdc else 0)
         return 1000.0 * m / self.instructions if self.instructions else 0.0
 
+    def to_payload(self) -> dict:
+        """Lossless JSON-friendly serialization (for the result cache).
+
+        Per-access ``levels`` arrays are intentionally unsupported:
+        results recorded with ``record_levels=True`` are not cacheable.
+        """
+        if self.levels is not None:
+            raise ValueError("SystemStats with per-access levels cannot "
+                             "be serialized to a cache payload")
+        return {
+            "variant": self.variant,
+            "instructions": self.instructions,
+            "cycles": self.cycles,
+            "l1d": dataclasses.asdict(self.l1d),
+            "l2c": dataclasses.asdict(self.l2c),
+            "llc": dataclasses.asdict(self.llc),
+            "sdc": dataclasses.asdict(self.sdc) if self.sdc else None,
+            "dram": dataclasses.asdict(self.dram),
+            "lp": dataclasses.asdict(self.lp) if self.lp else None,
+            "tlb": dataclasses.asdict(self.tlb) if self.tlb else None,
+        }
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "SystemStats":
+        """Inverse of :meth:`to_payload`."""
+        def opt(key, factory):
+            d = payload.get(key)
+            return factory(**d) if d is not None else None
+
+        return cls(
+            variant=payload["variant"],
+            instructions=payload["instructions"],
+            cycles=payload["cycles"],
+            l1d=CacheStats(**payload["l1d"]),
+            l2c=CacheStats(**payload["l2c"]),
+            llc=CacheStats(**payload["llc"]),
+            sdc=opt("sdc", CacheStats),
+            dram=DRAMStats(**payload["dram"]),
+            lp=opt("lp", LPStats),
+            tlb=opt("tlb", TLBStats),
+        )
+
     def as_dict(self) -> dict:
         """Flat JSON-friendly summary (no per-access arrays)."""
         out = {
@@ -222,8 +264,17 @@ class SingleCoreSystem:
         sdc = self.sdc
         if self.config.sdc.prefetcher is None:
             return
-        if sdc.contains(block) or self.hierarchy.contains(block):
-            return
+        # Inlined residency probes (SDC, then L1D/L2C/LLC) using each
+        # cache's precomputed shift/mask split — this guard runs on
+        # every SDC demand access, the install below only on the miss.
+        h = self.hierarchy
+        for cache in (sdc, h.l1d, h.l2c, h.llc):
+            m = cache._set_mask
+            if m >= 0:
+                if (block >> cache._set_bits) in cache.sets[block & m]:
+                    return
+            elif cache.contains(block):
+                return
         displaced = self.sdcdir.insert(block, 0, False)
         if displaced is not None:
             was, was_dirty = sdc.invalidate(displaced[0])
@@ -284,8 +335,16 @@ class SingleCoreSystem:
         copies are clean), else None."""
         h = self.hierarchy
         for cache in (h.l1d, h.l2c, h.llc):
-            if cache.contains(block):
-                if cache.clear_dirty(block):
+            # Inlined contains + clear_dirty (one split, one dict get).
+            m = cache._set_mask
+            if m >= 0:
+                line = cache.sets[block & m].get(block >> cache._set_bits)
+            else:
+                line = cache.sets[block % cache.num_sets].get(
+                    block // cache.num_sets)
+            if line is not None:
+                if line[1]:
+                    line[1] = 0
                     h.dram.write(block)
                 return cache.latency
         return None
@@ -296,29 +355,44 @@ class SingleCoreSystem:
         parallel with the L2C on an L1D miss; an SDC-resident block is
         transferred back into the L1D."""
         h = self.hierarchy
-        latency = h.l1d.latency
-        l1_hit = h.l1d.access(block, write)
-        if h.l1_prefetcher is not None:
+        l1d = h.l1d
+        sdc = self.sdc
+        latency = l1d.latency
+        l1_hit = l1d.access(block, write)
+        if h._l1_next_line:
+            # Inlined l1d/sdc residency probes for the next-line
+            # candidate (runs on every access on this path).
+            pf = block + 1
+            m = l1d._set_mask
+            resident = ((pf >> l1d._set_bits) in l1d.sets[pf & m]
+                        if m >= 0 else l1d.contains(pf))
+            if not resident:
+                m = sdc._set_mask
+                resident = ((pf >> sdc._set_bits) in sdc.sets[pf & m]
+                            if m >= 0 else sdc.contains(pf))
+            if not resident:
+                h._fill_l1(pf, prefetch=True)
+        elif h.l1_prefetcher is not None:
             candidates = (h._l1_pf_pc(pc, block, l1_hit)
                           if h._l1_pf_pc is not None
                           else h.l1_prefetcher.on_access(block, l1_hit))
             for pf in candidates:
-                if not h.l1d.contains(pf) and not self.sdc.contains(pf):
+                if not l1d.contains(pf) and not sdc.contains(pf):
                     h._fill_l1(pf, prefetch=True)
         if l1_hit:
             return L1D, latency
-        if self.sdc.contains(block):
+        if sdc.contains(block):
             # Parallel SDCDir hit: serve from the SDC.  A read leaves a
             # clean duplicate in the SDC (§III-C allows shared clean
             # copies); a write claims exclusivity.
-            latency += max(h.l2c.latency, self.sdc.latency +
+            latency += max(h.l2c.latency, sdc.latency +
                            self.sdcdir.latency)
             if write:
-                self.sdc.invalidate(block)
+                sdc.invalidate(block)
                 self.sdcdir.remove_sharer(block, 0)
                 h._fill_l1(block, dirty=True)
             else:
-                if self.sdc.clear_dirty(block):
+                if sdc.clear_dirty(block):
                     h.dram.write(block)
                 h._fill_l1(block, dirty=False)
             return SDC_LEVEL, latency
@@ -328,7 +402,7 @@ class SingleCoreSystem:
         l2_hit = h.l2c.access(block, False)
         if h.l2_prefetcher is not None:
             for pf in h.l2_prefetcher.on_access(block, l2_hit):
-                if not h.l2c.contains(pf) and not self.sdc.contains(pf):
+                if not h.l2c.contains(pf) and not sdc.contains(pf):
                     h._fill_l2(pf, prefetch=True)
         if l2_hit:
             h._fill_l1(block, dirty=write)
@@ -444,9 +518,11 @@ class SingleCoreSystem:
         deps = acc["dep"].tolist()
         # 4 KiB pages for the TLB (precomputed to keep the loop lean).
         pages = (acc["addr"] >> 12).astype(np.int64).tolist() \
-            if self.tlb is not None else None
+            if self.tlb is not None else [0] * n
 
         aux_list = self._precompute_aux(trace, blocks_np)
+        if aux_list is None:
+            aux_list = [None] * n
         levels = np.zeros(n, dtype=np.uint8) if record_levels else None
 
         timer = CoreTimer(self.config.core, self.config.l1d.mshr_entries,
@@ -460,52 +536,63 @@ class SingleCoreSystem:
         expert_irr = self._expert_block_classifier(trace, blocks_np) \
             if expert else None
 
+        # Hot loop: every per-access attribute/method lookup is hoisted
+        # into a local, and the record fields stream through one zip
+        # instead of five indexed list reads per iteration.
         tlb = self.tlb
         stats_reset_at = min(warmup, n)
-        for i in range(n):
-            if flush_sdc_every and i and i % flush_sdc_every == 0:
+        flush_every = flush_sdc_every or 0
+        tlb_translate = tlb.translate_page if tlb is not None else None
+        timer_access = timer.access
+        hierarchy_access = hierarchy.access_fast
+        lp_predict = lp.predict_and_update if lp is not None else None
+        sdc_access = self._access_via_sdc
+        regular_access = self._access_regular_with_sdc
+        victim_access = self._access_victim
+        bypass_access = self._access_lp_bypass
+        is_victim = self.victim is not None
+        is_bypass = self.variant == "lp_bypass"
+
+        for i, (block, pc, write, gap, dep, aux, page) in enumerate(
+                zip(blocks, pcs, writes, gaps, deps, aux_list, pages)):
+            if flush_every and i and i % flush_every == 0:
                 self._flush_sdc_state()
-            if i == stats_reset_at and warmup:
+            if warmup and i == stats_reset_at:
                 self._reset_stats()
                 timer = CoreTimer(
                     self.config.core, self.config.l1d.mshr_entries,
                     self.config.l1d.latency,
                     sdc_mshr_entries=self.config.sdc.mshr_entries)
-            block = blocks[i]
-            write = writes[i]
-            aux = aux_list[i] if aux_list is not None else None
-            tlb_latency = tlb.translate_page(pages[i]) if tlb else 0
+                timer_access = timer.access
+            tlb_latency = tlb_translate(page) if tlb_translate is not None \
+                else 0
 
             pool = 0
             if has_sdc:
                 if expert:
                     irregular = expert_irr[i]
                 else:
-                    irregular = lp.predict_and_update(pcs[i], block)
+                    irregular = lp_predict(pc, block)
                 if irregular:
-                    level, latency = self._access_via_sdc(block, write)
+                    level, latency = sdc_access(block, write)
                     pool = 1            # SDC's own MSHR file (Table I)
                 else:
-                    level, latency = self._access_regular_with_sdc(
-                        block, write, aux, pc=pcs[i])
-            elif self.victim is not None:
-                level, latency = self._access_victim(block, write, aux)
-            elif self.variant == "lp_bypass":
-                if lp.predict_and_update(pcs[i], block):
-                    level, latency = self._access_lp_bypass(block, write)
+                    level, latency = regular_access(block, write, aux,
+                                                    pc=pc)
+            elif is_victim:
+                level, latency = victim_access(block, write, aux)
+            elif is_bypass:
+                if lp_predict(pc, block):
+                    level, latency = bypass_access(block, write)
                 else:
-                    result = hierarchy.access(block, write, aux=aux,
-                                              pc=pcs[i])
-                    level, latency = result.level, result.latency
+                    level, latency = hierarchy_access(block, write, aux,
+                                                      pc)
             else:
-                result = hierarchy.access(block, write, aux=aux,
-                                          pc=pcs[i])
-                level, latency = result.level, result.latency
+                level, latency = hierarchy_access(block, write, aux, pc)
 
-            dep = deps[i]
             dep_c = completions[dep] if dep >= 0 else None
-            completions[i] = timer.access(gaps[i], latency + tlb_latency,
-                                          dep_c, pool=pool)
+            completions[i] = timer_access(gap, latency + tlb_latency,
+                                          dep_c, pool)
             if levels is not None:
                 levels[i] = level
 

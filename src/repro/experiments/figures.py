@@ -16,10 +16,9 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.config import LPConfig, SystemConfig
-from repro.core.expert import expert_regions_for
-from repro.core.multicore import MultiCoreSystem
-from repro.core.system import SingleCoreSystem, SystemStats
-from repro.experiments.runner import (default_config, run_variant, speedup)
+from repro.experiments.parallel import EXPERT_BEST, Job, run_grid
+from repro.experiments.runner import (GEOMEAN_CLAMP, default_config,
+                                      run_variant, speedup)
 from repro.experiments.workloads import (DEFAULT_TIER, DEFAULT_TRACE_LEN,
                                          WORKLOADS, Workload,
                                          multicore_mixes, workload_trace)
@@ -42,7 +41,7 @@ def geomean(values: list[float]) -> float:
     """Geometric mean of (1 + x) ratios, reported as a fraction."""
     if not values:
         return 0.0
-    return math.exp(sum(math.log(max(1e-9, 1.0 + v))
+    return math.exp(sum(math.log(max(GEOMEAN_CLAMP, 1.0 + v))
                         for v in values) / len(values)) - 1.0
 
 
@@ -64,15 +63,17 @@ class Fig2Result:
 
 
 def fig2_mpki(workloads=None, config: SystemConfig | None = None,
-              tier: str = DEFAULT_TIER,
-              length: int = DEFAULT_TRACE_LEN) -> Fig2Result:
+              tier: str = DEFAULT_TIER, length: int = DEFAULT_TRACE_LEN,
+              jobs: int = 1, use_cache: bool = True,
+              progress=None) -> Fig2Result:
     """Baseline L1D/L2C/LLC MPKI per workload (paper Fig. 2)."""
     cfg = config or default_config()
     wls = _workload_list(workloads)
+    grid = [Job(wl, "baseline", cfg, tier, length) for wl in wls]
+    stats_list = run_grid(grid, jobs=jobs, use_cache=use_cache,
+                          progress=progress)
     res = Fig2Result([], [], [], [])
-    for wl in wls:
-        trace = workload_trace(wl, tier=tier, length=length)
-        stats = run_variant(trace, "baseline", cfg)
+    for wl, stats in zip(wls, stats_list):
         res.workloads.append(wl.name)
         res.l1d.append(stats.mpki("l1d"))
         res.l2c.append(stats.mpki("l2c"))
@@ -161,18 +162,22 @@ class Fig7Result:
 def fig7_single_core(workloads=None, variants=SINGLE_CORE_VARIANTS,
                      config: SystemConfig | None = None,
                      tier: str = DEFAULT_TIER,
-                     length: int = DEFAULT_TRACE_LEN) -> Fig7Result:
+                     length: int = DEFAULT_TRACE_LEN, jobs: int = 1,
+                     use_cache: bool = True, progress=None) -> Fig7Result:
     """Speedup of each design over Baseline, per workload (paper Fig. 7)."""
     cfg = config or default_config()
     wls = _workload_list(workloads)
+    all_variants = ("baseline",) + tuple(variants)
+    grid = [Job(wl, v, cfg, tier, length)
+            for wl in wls for v in all_variants]
+    results = iter(run_grid(grid, jobs=jobs, use_cache=use_cache,
+                            progress=progress))
     res = Fig7Result([w.name for w in wls], {v: [] for v in variants})
     for wl in wls:
-        trace = workload_trace(wl, tier=tier, length=length)
-        base = run_variant(trace, "baseline", cfg)
+        base = next(results)
         res.baseline_cycles.append(base.cycles)
         for v in variants:
-            stats = run_variant(trace, v, cfg)
-            res.speedups[v].append(speedup(base, stats))
+            res.speedups[v].append(speedup(base, next(results)))
     return res
 
 
@@ -193,29 +198,38 @@ class MPKICompareResult:
 
 def fig8_l2_llc_mpki(workloads=None, config: SystemConfig | None = None,
                      tier: str = DEFAULT_TIER,
-                     length: int = DEFAULT_TRACE_LEN) -> MPKICompareResult:
+                     length: int = DEFAULT_TRACE_LEN, jobs: int = 1,
+                     use_cache: bool = True,
+                     progress=None) -> MPKICompareResult:
     """L2C and LLC MPKI, Baseline vs SDC+LP (paper Fig. 8)."""
-    return _mpki_compare(("l2c", "llc"), workloads, config, tier, length)
+    return _mpki_compare(("l2c", "llc"), workloads, config, tier, length,
+                         jobs, use_cache, progress)
 
 
 def fig9_l1_sdc_mpki(workloads=None, config: SystemConfig | None = None,
                      tier: str = DEFAULT_TIER,
-                     length: int = DEFAULT_TRACE_LEN) -> MPKICompareResult:
+                     length: int = DEFAULT_TRACE_LEN, jobs: int = 1,
+                     use_cache: bool = True,
+                     progress=None) -> MPKICompareResult:
     """L1D (and SDC) MPKI, Baseline vs SDC+LP (paper Fig. 9)."""
-    return _mpki_compare(("l1d", "sdc"), workloads, config, tier, length)
+    return _mpki_compare(("l1d", "sdc"), workloads, config, tier, length,
+                         jobs, use_cache, progress)
 
 
-def _mpki_compare(caches, workloads, config, tier, length
-                  ) -> MPKICompareResult:
+def _mpki_compare(caches, workloads, config, tier, length, jobs=1,
+                  use_cache=True, progress=None) -> MPKICompareResult:
     cfg = config or default_config()
     wls = _workload_list(workloads)
+    grid = [Job(wl, v, cfg, tier, length)
+            for wl in wls for v in ("baseline", "sdc_lp")]
+    results = iter(run_grid(grid, jobs=jobs, use_cache=use_cache,
+                            progress=progress))
     res = MPKICompareResult([w.name for w in wls],
                             {c: [] for c in caches},
                             {c: [] for c in caches})
-    for wl in wls:
-        trace = workload_trace(wl, tier=tier, length=length)
-        base = run_variant(trace, "baseline", cfg)
-        prop = run_variant(trace, "sdc_lp", cfg)
+    for _ in wls:
+        base = next(results)
+        prop = next(results)
         for c in caches:
             res.baseline[c].append(base.mpki(c))
             res.sdc_lp[c].append(prop.mpki(c))
@@ -239,25 +253,32 @@ class Fig10Result:
 
 def fig10_sdc_size(workloads=None, config: SystemConfig | None = None,
                    tier: str = DEFAULT_TIER,
-                   length: int = DEFAULT_TRACE_LEN) -> Fig10Result:
+                   length: int = DEFAULT_TRACE_LEN, jobs: int = 1,
+                   use_cache: bool = True, progress=None) -> Fig10Result:
     """SDC MPKI and speedup for 8/16/32 KiB-class SDCs (paper Fig. 10)."""
     cfg = config or default_config()
     wls = _workload_list(workloads)
-    res = Fig10Result([], [], [])
+    # The baseline variant never instantiates the SDC, so one baseline
+    # per workload (keyed on the base config) serves every size point.
+    grid = [Job(wl, "baseline", cfg, tier, length) for wl in wls]
+    point_cfgs = []
     for mult, ways, lat in SDC_SIZE_POINTS:
         sdc = cfg.sdc.resized(cfg.sdc.size_bytes * mult, ways=ways,
                               latency=lat)
-        cfg_i = dataclasses.replace(cfg, sdc=sdc)
-        mpkis, sps = [], []
-        for wl in wls:
-            trace = workload_trace(wl, tier=tier, length=length)
-            base = run_variant(trace, "baseline", cfg_i)
-            stats = run_variant(trace, "sdc_lp", cfg_i)
-            mpkis.append(stats.mpki("sdc"))
-            sps.append(speedup(base, stats))
-        res.sizes_kib.append(sdc.size_bytes / 1024)
-        res.sdc_mpki.append(float(np.mean(mpkis)))
-        res.speedup_geomean.append(geomean(sps))
+        point_cfgs.append(dataclasses.replace(cfg, sdc=sdc))
+        grid.extend(Job(wl, "sdc_lp", point_cfgs[-1], tier, length)
+                    for wl in wls)
+    results = run_grid(grid, jobs=jobs, use_cache=use_cache,
+                       progress=progress)
+    n = len(wls)
+    bases = results[:n]
+    res = Fig10Result([], [], [])
+    for i, cfg_i in enumerate(point_cfgs):
+        chunk = results[n * (i + 1):n * (i + 2)]
+        res.sizes_kib.append(cfg_i.sdc.size_bytes / 1024)
+        res.sdc_mpki.append(float(np.mean([s.mpki("sdc") for s in chunk])))
+        res.speedup_geomean.append(geomean([speedup(b, s)
+                                            for b, s in zip(bases, chunk)]))
     return res
 
 
@@ -273,40 +294,48 @@ class SweepResult:
 
 
 def _lp_sweep(lp_configs: list[LPConfig], points, label, workloads, config,
-              tier, length) -> SweepResult:
+              tier, length, jobs=1, use_cache=True,
+              progress=None) -> SweepResult:
     cfg = config or default_config()
     wls = _workload_list(workloads)
-    res = SweepResult(list(points), [], label)
+    # The baseline variant never consults the LP, so one baseline per
+    # workload (keyed on the base config) serves every sweep point.
+    grid = [Job(wl, "baseline", cfg, tier, length) for wl in wls]
     for lp in lp_configs:
         cfg_i = dataclasses.replace(cfg, lp=lp)
-        sps = []
-        for wl in wls:
-            trace = workload_trace(wl, tier=tier, length=length)
-            base = run_variant(trace, "baseline", cfg_i)
-            stats = run_variant(trace, "sdc_lp", cfg_i)
-            sps.append(speedup(base, stats))
-        res.speedup_geomean.append(geomean(sps))
+        grid.extend(Job(wl, "sdc_lp", cfg_i, tier, length) for wl in wls)
+    results = run_grid(grid, jobs=jobs, use_cache=use_cache,
+                       progress=progress)
+    n = len(wls)
+    bases = results[:n]
+    res = SweepResult(list(points), [], label)
+    for i in range(len(lp_configs)):
+        chunk = results[n * (i + 1):n * (i + 2)]
+        res.speedup_geomean.append(geomean([speedup(b, s)
+                                            for b, s in zip(bases, chunk)]))
     return res
 
 
 def fig11_lp_entries(workloads=None, config: SystemConfig | None = None,
                      entries=(8, 16, 32, 64), tier: str = DEFAULT_TIER,
-                     length: int = DEFAULT_TRACE_LEN) -> SweepResult:
+                     length: int = DEFAULT_TRACE_LEN, jobs: int = 1,
+                     use_cache: bool = True, progress=None) -> SweepResult:
     """Fully-associative LP tables of 8..64 entries (paper Fig. 11)."""
     base_lp = (config or default_config()).lp
     lps = [dataclasses.replace(base_lp, entries=e, ways=e) for e in entries]
     return _lp_sweep(lps, entries, "LP entries (fully assoc.)", workloads,
-                     config, tier, length)
+                     config, tier, length, jobs, use_cache, progress)
 
 
 def fig12_lp_assoc(workloads=None, config: SystemConfig | None = None,
                    ways=(1, 2, 8, 32), tier: str = DEFAULT_TIER,
-                   length: int = DEFAULT_TRACE_LEN) -> SweepResult:
+                   length: int = DEFAULT_TRACE_LEN, jobs: int = 1,
+                   use_cache: bool = True, progress=None) -> SweepResult:
     """32-entry LP at different associativities (paper Fig. 12)."""
     base_lp = (config or default_config()).lp
     lps = [dataclasses.replace(base_lp, entries=32, ways=w) for w in ways]
     return _lp_sweep(lps, ways, "LP associativity (32 entries)", workloads,
-                     config, tier, length)
+                     config, tier, length, jobs, use_cache, progress)
 
 
 # ---------------------------------------------------------------------------
@@ -322,31 +351,40 @@ class TauSweepResult:
 
 def tau_sweep(workloads=None, config: SystemConfig | None = None,
               taus=(0, 2, 4, 8, 16, 64, 256), tier: str = DEFAULT_TIER,
-              length: int = DEFAULT_TRACE_LEN,
-              regular_len: int = 100_000) -> TauSweepResult:
+              length: int = DEFAULT_TRACE_LEN, regular_len: int = 100_000,
+              jobs: int = 1, use_cache: bool = True,
+              progress=None) -> TauSweepResult:
     """Speedup vs τ_glob on graph and regular workloads (paper §V-B3)."""
     from repro.trace.synthetic import regular_suite
     cfg = config or default_config()
     wls = _workload_list(workloads)
     # Size the hot set to the simulated SDC so the regular suite is
     # genuinely cache-friendly at this scale (see synthetic.py).
-    regular = regular_suite(regular_len,
-                            hot_ws_kib=max(1, cfg.sdc.size_bytes // 2048))
-    res = TauSweepResult(list(taus), [], [])
-    gap_traces = [workload_trace(wl, tier=tier, length=length)
-                  for wl in wls]
-    gap_base = [run_variant(t, "baseline", cfg) for t in gap_traces]
-    reg_base = {k: run_variant(t, "baseline", cfg)
-                for k, t in regular.items()}
+    regular = list(regular_suite(
+        regular_len, hot_ws_kib=max(1, cfg.sdc.size_bytes // 2048))
+        .values())
+    # Both baselines ignore the LP, so one per trace serves every τ.
+    grid = [Job(wl, "baseline", cfg, tier, length) for wl in wls]
+    grid += [Job(t, "baseline", cfg) for t in regular]
     for tau in taus:
         cfg_i = dataclasses.replace(
             cfg, lp=dataclasses.replace(cfg.lp, tau_glob=tau))
-        sps = [speedup(b, run_variant(t, "sdc_lp", cfg_i))
-               for t, b in zip(gap_traces, gap_base)]
-        res.gap_speedup.append(geomean(sps))
-        rsp = [speedup(reg_base[k], run_variant(t, "sdc_lp", cfg_i))
-               for k, t in regular.items()]
-        res.regular_speedup.append(geomean(rsp))
+        grid += [Job(wl, "sdc_lp", cfg_i, tier, length) for wl in wls]
+        grid += [Job(t, "sdc_lp", cfg_i) for t in regular]
+    results = run_grid(grid, jobs=jobs, use_cache=use_cache,
+                       progress=progress)
+    ng, nr = len(wls), len(regular)
+    gap_base, reg_base = results[:ng], results[ng:ng + nr]
+    res = TauSweepResult(list(taus), [], [])
+    idx = ng + nr
+    for _ in taus:
+        gap = results[idx:idx + ng]
+        reg = results[idx + ng:idx + ng + nr]
+        idx += ng + nr
+        res.gap_speedup.append(geomean([speedup(b, s)
+                                        for b, s in zip(gap_base, gap)]))
+        res.regular_speedup.append(geomean([speedup(b, s)
+                                            for b, s in zip(reg_base, reg)]))
     return res
 
 
@@ -366,21 +404,25 @@ class Fig13Result:
 
 def fig13_expert(workloads=None, config: SystemConfig | None = None,
                  tier: str = DEFAULT_TIER,
-                 length: int = DEFAULT_TRACE_LEN) -> Fig13Result:
-    """Speedups of SDC+LP and Expert Programmer over Baseline (Fig. 13)."""
-    from repro.core.expert import expert_regions_best
+                 length: int = DEFAULT_TRACE_LEN, jobs: int = 1,
+                 use_cache: bool = True, progress=None) -> Fig13Result:
+    """Speedups of SDC+LP and Expert Programmer over Baseline (Fig. 13).
+
+    The expert cell is the :data:`~repro.experiments.parallel.EXPERT_BEST`
+    pseudo-variant: region profiling + the expert run execute (and cache)
+    as one unit of work.
+    """
     cfg = config or default_config()
     wls = _workload_list(workloads)
+    grid = [Job(wl, v, cfg, tier, length)
+            for wl in wls for v in ("baseline", "sdc_lp", EXPERT_BEST)]
+    results = iter(run_grid(grid, jobs=jobs, use_cache=use_cache,
+                            progress=progress))
     res = Fig13Result([w.name for w in wls], [], [])
-    for wl in wls:
-        trace = workload_trace(wl, tier=tier, length=length)
-        base = run_variant(trace, "baseline", cfg)
-        regions = expert_regions_best(trace, cfg)
-        lp_stats = run_variant(trace, "sdc_lp", cfg)
-        ex_stats = run_variant(trace, "expert", cfg,
-                               expert_regions=regions)
-        res.sdc_lp.append(speedup(base, lp_stats))
-        res.expert.append(speedup(base, ex_stats))
+    for _ in wls:
+        base = next(results)
+        res.sdc_lp.append(speedup(base, next(results)))
+        res.expert.append(speedup(base, next(results)))
     return res
 
 
@@ -408,7 +450,8 @@ def fig14_multicore(num_mixes: int = 50, cores: int = 4,
                     config: SystemConfig | None = None,
                     tier: str = DEFAULT_TIER,
                     length: int = DEFAULT_TRACE_LEN // 2,
-                    seed: int = 42) -> Fig14Result:
+                    seed: int = 42, jobs: int = 1, use_cache: bool = True,
+                    progress=None) -> Fig14Result:
     """Weighted speedup of each design over Baseline on random 4-thread
     mixes (paper Fig. 14, §IV-D methodology)."""
     cfg = dataclasses.replace(config or default_config(), num_cores=cores)
@@ -418,34 +461,30 @@ def fig14_multicore(num_mixes: int = 50, cores: int = 4,
     needed = sorted({wl.name for mix in mixes for wl in mix})
     single_cfg = dataclasses.replace(
         cfg, llc=cfg.llc.resized(cfg.llc.size_bytes * cores), num_cores=1)
-    singles: dict[tuple[str, str], float] = {}
-    traces = {}
-    for name in needed:
-        traces[name] = workload_trace(name, tier=tier, length=length)
-    for v in ("baseline",) + tuple(variants):
-        for name in needed:
-            stats = run_variant(traces[name], v, single_cfg)
-            singles[(v, name)] = stats.ipc
+    all_variants = ("baseline",) + tuple(variants)
+    single_grid = [Job(name, v, single_cfg, tier, length)
+                   for v in all_variants for name in needed]
+    mix_grid = [Job(tuple(wl.name for wl in mix), v, cfg, tier, length)
+                for mix in mixes for v in all_variants]
+    results = iter(run_grid(single_grid + mix_grid, jobs=jobs,
+                            use_cache=use_cache, progress=progress))
+    singles = {(v, name): next(results).ipc
+               for v in all_variants for name in needed}
 
     res = Fig14Result([], {v: [] for v in variants})
     for mix in mixes:
         res.mixes.append("+".join(wl.name for wl in mix))
-        mix_traces = [traces[wl.name] for wl in mix]
-        base_ws = _weighted_ipc(cfg, "baseline", mix, mix_traces, singles)
+        per_variant = {v: next(results) for v in all_variants}
+        base_ws = _weighted_ipc(mix, per_variant["baseline"], "baseline",
+                                singles)
         for v in variants:
-            ws = _weighted_ipc(cfg, v, mix, mix_traces, singles)
+            ws = _weighted_ipc(mix, per_variant[v], v, singles)
             res.weighted_speedup[v].append(ws / base_ws - 1.0
                                            if base_ws else 0.0)
     return res
 
 
-def _weighted_ipc(cfg, variant, mix, mix_traces, singles) -> float:
-    expert_regions = None
-    if variant == "expert":
-        expert_regions = [expert_regions_for(t) for t in mix_traces]
-    system = MultiCoreSystem(cfg, variant=variant,
-                             expert_regions=expert_regions)
-    result = system.run(mix_traces)
+def _weighted_ipc(mix, result, variant, singles) -> float:
     total = 0.0
     for wl, stats in zip(mix, result.per_core):
         ipc_single = singles[(variant, wl.name)]
@@ -471,7 +510,8 @@ class AblationResult:
 
 def ablation_study(workloads=None, config: SystemConfig | None = None,
                    tier: str = DEFAULT_TIER,
-                   length: int = DEFAULT_TRACE_LEN) -> AblationResult:
+                   length: int = DEFAULT_TRACE_LEN, jobs: int = 1,
+                   use_cache: bool = True, progress=None) -> AblationResult:
     """Decompose SDC+LP's benefit into its ingredients:
 
     * ``victim``      — iso-storage L1 victim cache: is 8 KiB of extra
@@ -486,17 +526,27 @@ def ablation_study(workloads=None, config: SystemConfig | None = None,
     cfg = config or default_config()
     wls = _workload_list(workloads)
     labels = list(ABLATION_VARIANTS) + ["sdc_lp/nodep"]
+    # Nodep cells run on derived in-memory traces (content-hashed by the
+    # cache); the rest are plain workload-spec cells.
+    grid = []
+    for wl in wls:
+        grid.append(Job(wl, "baseline", cfg, tier, length))
+        grid.extend(Job(wl, v, cfg, tier, length)
+                    for v in ABLATION_VARIANTS)
+        nodep = Trace_without_deps(workload_trace(wl, tier=tier,
+                                                  length=length))
+        grid.append(Job(nodep, "baseline", cfg))
+        grid.append(Job(nodep, "sdc_lp", cfg))
+    results = iter(run_grid(grid, jobs=jobs, use_cache=use_cache,
+                            progress=progress))
     res = AblationResult([w.name for w in wls],
                          {v: [] for v in labels})
-    for wl in wls:
-        trace = workload_trace(wl, tier=tier, length=length)
-        base = run_variant(trace, "baseline", cfg)
+    for _ in wls:
+        base = next(results)
         for v in ABLATION_VARIANTS:
-            res.speedups[v].append(speedup(base, run_variant(trace, v,
-                                                             cfg)))
-        nodep = Trace_without_deps(trace)
-        nodep_base = run_variant(nodep, "baseline", cfg)
-        nodep_prop = run_variant(nodep, "sdc_lp", cfg)
+            res.speedups[v].append(speedup(base, next(results)))
+        nodep_base = next(results)
+        nodep_prop = next(results)
         res.speedups["sdc_lp/nodep"].append(speedup(nodep_base,
                                                     nodep_prop))
     return res
@@ -527,30 +577,38 @@ class PolicyStudyResult:
 def replacement_study(workloads=None, config: SystemConfig | None = None,
                       policies=REPLACEMENT_POLICIES,
                       tier: str = DEFAULT_TIER,
-                      length: int = DEFAULT_TRACE_LEN) -> PolicyStudyResult:
+                      length: int = DEFAULT_TRACE_LEN, jobs: int = 1,
+                      use_cache: bool = True,
+                      progress=None) -> PolicyStudyResult:
     """§VI *Replacement Policies*: sophisticated LLC replacement
     (DRRIP, SHiP) barely helps graph workloads, while transpose-driven
     T-OPT does — cache bypassing beats smarter retention."""
     cfg = config or default_config()
     wls = _workload_list(workloads)
+    sweep = [p for p in policies if p != "lru"]
+    grid = [Job(wl, "baseline", cfg, tier, length) for wl in wls]
+    for policy in sweep:
+        if policy == "topt":
+            grid.extend(Job(wl, "topt", cfg, tier, length) for wl in wls)
+        else:
+            cfg_i = dataclasses.replace(
+                cfg, llc=dataclasses.replace(cfg.llc, replacement=policy))
+            grid.extend(Job(wl, "baseline", cfg_i, tier, length)
+                        for wl in wls)
+    results = run_grid(grid, jobs=jobs, use_cache=use_cache,
+                       progress=progress)
+    n = len(wls)
+    bases = results[:n]
+    chunks = {p: results[n * (i + 1):n * (i + 2)]
+              for i, p in enumerate(sweep)}
     res = PolicyStudyResult(list(policies), [])
-    traces = [workload_trace(wl, tier=tier, length=length) for wl in wls]
-    base_stats = [run_variant(t, "baseline", cfg) for t in traces]
     for policy in policies:
         if policy == "lru":
             res.speedup_geomean.append(0.0)
             continue
-        sps = []
-        for trace, base in zip(traces, base_stats):
-            if policy == "topt":
-                stats = run_variant(trace, "topt", cfg)
-            else:
-                cfg_i = dataclasses.replace(
-                    cfg, llc=dataclasses.replace(cfg.llc,
-                                                 replacement=policy))
-                stats = run_variant(trace, "baseline", cfg_i)
-            sps.append(speedup(base, stats))
-        res.speedup_geomean.append(geomean(sps))
+        res.speedup_geomean.append(
+            geomean([speedup(b, s)
+                     for b, s in zip(bases, chunks[policy])]))
     return res
 
 
@@ -567,7 +625,8 @@ class PrefetcherStudyResult:
 def prefetcher_study(workloads=None, config: SystemConfig | None = None,
                      prefetchers=PREFETCHER_CONFIGS,
                      tier: str = DEFAULT_TIER,
-                     length: int = DEFAULT_TRACE_LEN
+                     length: int = DEFAULT_TRACE_LEN, jobs: int = 1,
+                     use_cache: bool = True, progress=None
                      ) -> PrefetcherStudyResult:
     """§VI *Hardware Prefetching*: stride-class prefetchers cannot cover
     indirect graph accesses; and the paper's stated future work — SDC+LP
@@ -575,19 +634,28 @@ def prefetcher_study(workloads=None, config: SystemConfig | None = None,
     SDC/L1D prefetcher."""
     cfg = config or default_config()
     wls = _workload_list(workloads)
-    traces = [workload_trace(wl, tier=tier, length=length) for wl in wls]
-    res = PrefetcherStudyResult(list(prefetchers), [], [])
     none_cfg = _with_l1_prefetcher(cfg, None)
-    base_none = [run_variant(t, "baseline", none_cfg) for t in traces]
+    # The "none" point's baseline cells dedup against this leading row.
+    grid = [Job(wl, "baseline", none_cfg, tier, length) for wl in wls]
     for pf in prefetchers:
-        pf_name = None if pf == "none" else pf
-        cfg_i = _with_l1_prefetcher(cfg, pf_name)
-        sps = [speedup(b, run_variant(t, "baseline", cfg_i))
-               for t, b in zip(traces, base_none)]
-        res.speedup_geomean.append(geomean(sps))
-        sdc_sps = [speedup(b, run_variant(t, "sdc_lp", cfg_i))
-                   for t, b in zip(traces, base_none)]
-        res.sdc_lp_speedup.append(geomean(sdc_sps))
+        cfg_i = _with_l1_prefetcher(cfg, None if pf == "none" else pf)
+        grid.extend(Job(wl, "baseline", cfg_i, tier, length)
+                    for wl in wls)
+        grid.extend(Job(wl, "sdc_lp", cfg_i, tier, length) for wl in wls)
+    results = run_grid(grid, jobs=jobs, use_cache=use_cache,
+                       progress=progress)
+    n = len(wls)
+    base_none = results[:n]
+    res = PrefetcherStudyResult(list(prefetchers), [], [])
+    idx = n
+    for _ in prefetchers:
+        base_i = results[idx:idx + n]
+        sdc_i = results[idx + n:idx + 2 * n]
+        idx += 2 * n
+        res.speedup_geomean.append(
+            geomean([speedup(b, s) for b, s in zip(base_none, base_i)]))
+        res.sdc_lp_speedup.append(
+            geomean([speedup(b, s) for b, s in zip(base_none, sdc_i)]))
     return res
 
 

@@ -1,0 +1,277 @@
+"""Parallel experiment engine: fan a grid of simulations over processes.
+
+Every figure in :mod:`repro.experiments.figures` is grid-shaped — a loop
+over (workload × variant × config) cells whose simulations are fully
+independent.  :func:`run_grid` is the one engine behind all of them:
+
+* **Deduplication** — cells that resolve to the same content-addressed
+  key (same trace, variant, config digest and code fingerprint) are
+  simulated once and fanned back out to every requesting cell.
+* **Result caching** — finished cells are stored in the on-disk
+  :class:`repro.experiments.results_cache.ResultsCache`; a warm rerun
+  of a figure performs zero simulations.
+* **Process parallelism** — with ``jobs > 1`` the remaining cells run
+  under a ``ProcessPoolExecutor``.  Workers receive either a workload
+  *spec* (they load the trace from the shared on-disk trace cache,
+  whose writes are atomic) or a pickled in-memory trace, and return the
+  lossless ``SystemStats`` payload dict.  Serial runs round-trip
+  through the same payload encoding, so ``jobs=N`` is bit-identical to
+  ``jobs=1`` for every N.
+
+The per-cell unit of work is a :class:`Job`.  ``Job.workload`` may be a
+workload name/``Workload`` (single-core), an in-memory ``Trace``
+(single-core, content-hashed for caching), or a tuple of workload
+names/``Workload``s (one per core — a multi-core mix returning a
+:class:`repro.core.multicore.MultiCoreResult`).
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.config import SystemConfig
+from repro.core.multicore import MultiCoreResult, MultiCoreSystem
+from repro.core.system import SystemStats
+from repro.experiments import results_cache as rc
+from repro.experiments.runner import default_config, run_variant
+from repro.experiments.workloads import (DEFAULT_TIER, DEFAULT_TRACE_LEN,
+                                         Workload, workload_trace)
+from repro.trace.record import Trace
+
+#: Pseudo-variant: profile ``expert_regions_best`` on the trace, then
+#: run the ``expert`` variant with the best region set — one cacheable
+#: unit of work (used by fig13).
+EXPERT_BEST = "expert_best"
+
+
+@dataclass
+class Job:
+    """One cell of an experiment grid."""
+
+    workload: object            # str | Workload | Trace | tuple of them
+    variant: str
+    config: SystemConfig | None = None
+    tier: str = DEFAULT_TIER
+    length: int = DEFAULT_TRACE_LEN
+    expert_regions: frozenset | None = None
+    tag: object = None          # opaque caller identifier, untouched
+
+    @property
+    def label(self) -> str:
+        wl = self.workload
+        if isinstance(wl, tuple):
+            name = "+".join(_workload_name(w) for w in wl)
+        else:
+            name = _workload_name(wl)
+        return f"{name}/{self.variant}"
+
+
+@dataclass
+class Progress:
+    """One per-cell completion report passed to the progress callback."""
+
+    done: int                   # cells finished so far (including this)
+    total: int                  # cells in the grid
+    label: str                  # job label, e.g. "pr.kron/sdc_lp"
+    seconds: float              # wall time of this cell
+    source: str                 # "run" | "cache" | "dedup"
+
+
+ProgressFn = Callable[[Progress], None]
+
+
+def print_progress(p: Progress) -> None:
+    """Default CLI progress printer (one line per finished cell)."""
+    note = "" if p.source == "run" else f"  [{p.source}]"
+    print(f"  [{p.done}/{p.total}] {p.label}  {p.seconds:.1f}s{note}",
+          flush=True)
+
+
+def _workload_name(wl) -> str:
+    if isinstance(wl, Workload):
+        return wl.name
+    if isinstance(wl, Trace):
+        return wl.name
+    return str(wl)
+
+
+def _trace_ref(wl, tier: str, length: int):
+    """Picklable trace reference + cache fingerprint for one workload."""
+    if isinstance(wl, Trace):
+        return ("obj", wl), rc.trace_fingerprint(wl)
+    name = wl.name if isinstance(wl, Workload) else str(wl)
+    return (("spec", name, tier, length),
+            rc.workload_fingerprint(name, tier, length))
+
+
+def _job_spec(job: Job) -> tuple[dict, str]:
+    """Compile a Job into a picklable work spec and its cache key."""
+    cfg = job.config or default_config()
+    extra = ""
+    if job.expert_regions is not None:
+        extra = "regions:" + ",".join(map(str, sorted(job.expert_regions)))
+    if isinstance(job.workload, tuple):
+        refs, fps = zip(*(_trace_ref(w, job.tier, job.length)
+                          for w in job.workload))
+        fp = "mc[" + "+".join(fps) + "]"
+        spec = {"kind": "multi", "traces": list(refs),
+                "variant": job.variant, "config": cfg}
+    else:
+        ref, fp = _trace_ref(job.workload, job.tier, job.length)
+        spec = {"kind": "single", "trace": ref,
+                "variant": job.variant, "config": cfg,
+                "expert_regions": (set(job.expert_regions)
+                                   if job.expert_regions is not None
+                                   else None)}
+    return spec, rc.result_key(fp, job.variant, cfg.digest(), extra)
+
+
+# -- worker side (also used by the in-process serial path) -----------------
+
+_worker_traces: dict = {}       # per-process trace cache
+
+
+def _resolve_trace(ref) -> Trace:
+    if ref[0] == "obj":
+        return ref[1]
+    _, name, tier, length = ref
+    trace = _worker_traces.get((name, tier, length))
+    if trace is None:
+        trace = workload_trace(name, tier=tier, length=length)
+        _worker_traces[(name, tier, length)] = trace
+    return trace
+
+
+def _execute(spec: dict) -> dict:
+    """Run one cell; returns its lossless JSON payload."""
+    cfg = spec["config"]
+    variant = spec["variant"]
+    if spec["kind"] == "multi":
+        traces = [_resolve_trace(r) for r in spec["traces"]]
+        expert_regions = None
+        if variant == "expert":
+            from repro.core.expert import expert_regions_for
+            expert_regions = [expert_regions_for(t, cfg) for t in traces]
+        system = MultiCoreSystem(cfg, variant=variant,
+                                 expert_regions=expert_regions)
+        result = system.run(traces)
+        return {"multi": True,
+                "per_core": [s.to_payload() for s in result.per_core],
+                "llc_accesses": result.llc_accesses,
+                "llc_misses": result.llc_misses}
+    trace = _resolve_trace(spec["trace"])
+    if variant == EXPERT_BEST:
+        from repro.core.expert import expert_regions_best
+        regions = expert_regions_best(trace, cfg)
+        stats = run_variant(trace, "expert", cfg, expert_regions=regions)
+    else:
+        stats = run_variant(trace, variant, cfg,
+                            expert_regions=spec["expert_regions"])
+    return stats.to_payload()
+
+
+def _materialize(payload: dict):
+    if payload.get("multi"):
+        return MultiCoreResult(
+            per_core=[SystemStats.from_payload(p)
+                      for p in payload["per_core"]],
+            llc_accesses=payload["llc_accesses"],
+            llc_misses=payload["llc_misses"])
+    return SystemStats.from_payload(payload)
+
+
+# -- engine ----------------------------------------------------------------
+
+def run_grid(grid: list[Job], jobs: int = 1, use_cache: bool = True,
+             cache: rc.ResultsCache | None = None,
+             progress: ProgressFn | None = None) -> list:
+    """Execute a grid of jobs; returns results aligned with ``grid``.
+
+    ``jobs`` is the worker-process count (``<= 1`` runs in-process);
+    ``use_cache=False`` bypasses the persistent result cache entirely
+    (no reads, no writes) but still deduplicates within the grid.
+    Results are ``SystemStats`` for single-core jobs and
+    ``MultiCoreResult`` for mix jobs, always reconstructed from the
+    payload encoding so parallel and serial runs are bit-identical.
+    """
+    total = len(grid)
+    if cache is None and use_cache:
+        cache = rc.ResultsCache()
+    payloads: dict[str, dict] = {}          # key -> payload
+    keys: list[str] = []                    # per-cell key, grid order
+    cell_sources: list[str] = []            # per-cell "run"/"cache"/"dedup"
+    pending: dict[str, dict] = {}           # key -> spec (first wins)
+    done = 0
+
+    for job in grid:
+        spec, key = _job_spec(job)
+        keys.append(key)
+        if key in payloads or key in pending:
+            cell_sources.append("dedup")
+            continue
+        if use_cache:
+            hit = cache.get(key)
+            if hit is not None:
+                payloads[key] = hit
+                cell_sources.append("cache")
+                continue
+        pending[key] = spec
+        cell_sources.append("run")
+
+    def report(label: str, seconds: float, source: str) -> None:
+        nonlocal done
+        done += 1
+        if progress is not None:
+            progress(Progress(done, total, label, seconds, source))
+
+    labels = {}
+    for job, key in zip(grid, keys):
+        labels.setdefault(key, job.label)
+
+    def store(key: str) -> None:
+        # Store each cell as soon as it finishes, so an interrupted
+        # sweep keeps every completed simulation.
+        if use_cache:
+            cache.put(key, payloads[key])
+
+    if pending:
+        if jobs > 1 and len(pending) > 1:
+            _run_parallel(pending, payloads, jobs, report, labels, store)
+        else:
+            for key, spec in pending.items():
+                t0 = time.perf_counter()
+                payloads[key] = _execute(spec)
+                store(key)
+                report(labels[key], time.perf_counter() - t0, "run")
+
+    # Report cache hits and dedup'd cells after the real work so the
+    # done/total counter stays monotonic.
+    for job, source in zip(grid, cell_sources):
+        if source != "run":
+            report(job.label, 0.0, source)
+
+    return [_materialize(payloads[key]) for key in keys]
+
+
+def _run_parallel(pending: dict, payloads: dict, jobs: int,
+                  report, labels: dict, store) -> None:
+    max_workers = min(jobs, len(pending))
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = {}
+        started = {}
+        for key, spec in pending.items():
+            started[key] = time.perf_counter()
+            futures[pool.submit(_execute, spec)] = key
+        outstanding = set(futures)
+        while outstanding:
+            finished, outstanding = wait(outstanding,
+                                         return_when=FIRST_COMPLETED)
+            for fut in finished:
+                key = futures[fut]
+                payloads[key] = fut.result()
+                store(key)
+                report(labels[key], time.perf_counter() - started[key],
+                       "run")

@@ -1,0 +1,140 @@
+"""Content-addressed on-disk cache for simulation results.
+
+A cached entry is the lossless JSON payload of one ``SystemStats`` (or a
+multi-core result), keyed by everything that determines it:
+
+* the **trace fingerprint** — for disk-cached workload traces this is
+  the ``(name, tier, length, format-version)`` spec, which is enough
+  because trace generation is deterministic; for in-memory traces
+  (synthetic suites, derived no-dep copies) it is a content hash of the
+  access records;
+* the **variant** name plus any variant extras (e.g. expert regions);
+* the **config digest** (:meth:`repro.config.SystemConfig.digest`);
+* the **code fingerprint** — a hash over the simulator sources, so any
+  change to the model automatically invalidates every cached result.
+
+Entries live under ``REPRO_CACHE_DIR`` (default ``.repro_cache/``) in
+``results/<first-2-hex>/<key>.json``.  Writes are atomic (temp file +
+rename), so concurrent ``run_grid`` workers can share one cache
+directory safely.  Set the ``REPRO_CACHE_DIR`` environment variable to
+relocate the whole cache (traces and results) — see docs/PERFORMANCE.md.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from pathlib import Path
+
+from repro.experiments.workloads import TRACE_FORMAT_VERSION, cache_dir
+
+# Sources whose content defines the simulation model.  A change to any
+# of these files must invalidate cached results; experiment-layer files
+# (figures, CLI, reporting) deliberately do not.
+_REPRO_ROOT = Path(__file__).resolve().parents[1]
+_FINGERPRINT_SOURCES = ("config.py", "mem", "core", "trace", "graphs",
+                        "kernels")
+
+_code_fingerprint: str | None = None
+
+
+def code_fingerprint() -> str:
+    """Hash of the simulator sources (memoized per process)."""
+    global _code_fingerprint
+    if _code_fingerprint is None:
+        h = hashlib.sha256()
+        files: list[Path] = []
+        for entry in _FINGERPRINT_SOURCES:
+            p = _REPRO_ROOT / entry
+            if p.is_file():
+                files.append(p)
+            elif p.is_dir():
+                files.extend(p.rglob("*.py"))
+        for f in sorted(files):
+            h.update(str(f.relative_to(_REPRO_ROOT)).encode())
+            h.update(b"\0")
+            h.update(f.read_bytes())
+            h.update(b"\0")
+        _code_fingerprint = h.hexdigest()[:16]
+    return _code_fingerprint
+
+
+def workload_fingerprint(name: str, tier: str, length: int) -> str:
+    """Fingerprint of a disk-cached workload trace, without loading it.
+
+    Trace generation is deterministic in (name, tier, length) and the
+    trace format version, so the spec alone identifies the content —
+    this is what makes a warm-cache figure rerun trace-load-free.
+    """
+    return f"wl:{name}:{tier}:{length}:v{TRACE_FORMAT_VERSION}"
+
+
+def trace_fingerprint(trace) -> str:
+    """Content hash of an in-memory :class:`repro.trace.record.Trace`."""
+    acc = trace.accesses
+    h = hashlib.sha256()
+    h.update(str(acc.dtype).encode())
+    h.update(acc.tobytes())
+    return f"tr:{trace.name}:{h.hexdigest()[:16]}"
+
+
+def result_key(trace_fp: str, variant: str, config_digest: str,
+               extra: str = "") -> str:
+    """Content-addressed key for one simulation result."""
+    blob = "|".join((trace_fp, variant, config_digest, code_fingerprint(),
+                     extra))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultsCache:
+    """On-disk result store with hit/miss accounting."""
+
+    def __init__(self, root: str | os.PathLike | None = None):
+        self.root = Path(root) if root is not None \
+            else cache_dir() / "results"
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """Load a cached payload; None (and a miss) when absent."""
+        path = self._path(key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> None:
+        """Store a payload atomically (temp file + rename)."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        self.stores += 1
+
+    def clear(self) -> int:
+        """Delete every cached result; returns the number removed."""
+        removed = 0
+        if self.root.is_dir():
+            removed = sum(1 for _ in self.root.glob("*/*.json"))
+            shutil.rmtree(self.root)
+        return removed
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json")) \
+            if self.root.is_dir() else 0

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 from repro.config import SystemConfig, scaled_config
 from repro.core.expert import expert_regions_for
 from repro.core.system import SingleCoreSystem, SystemStats
@@ -12,6 +14,11 @@ from repro.trace.record import Trace
 DEFAULT_SCALE = 16
 """Cache-capacity divisor pairing with the DEFAULT_TIER graphs so that
 the footprint/LLC ratio lands in the paper's regime (DESIGN.md §7)."""
+
+GEOMEAN_CLAMP = 1e-12
+"""Floor applied inside geometric means so degenerate ratios (zero or
+negative cycle counts from pathological inputs) cannot poison the log;
+shared with :func:`repro.experiments.figures.geomean`."""
 
 
 def default_config(num_cores: int = 1) -> SystemConfig:
@@ -52,9 +59,9 @@ def speedup(baseline: SystemStats, other: SystemStats) -> float:
 
 def geomean_speedup(pairs: list[tuple[SystemStats, SystemStats]]) -> float:
     """Geometric-mean speedup over (baseline, variant) result pairs."""
-    import math
     if not pairs:
         return 0.0
-    log_sum = sum(math.log(max(1e-12, b.cycles / max(1e-12, v.cycles)))
+    log_sum = sum(math.log(max(GEOMEAN_CLAMP,
+                               b.cycles / max(GEOMEAN_CLAMP, v.cycles)))
                   for b, v in pairs)
     return math.exp(log_sum / len(pairs)) - 1.0

@@ -12,6 +12,7 @@ contrib loop).
 from __future__ import annotations
 
 import os
+import zlib
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -27,7 +28,7 @@ GRAPHS = tuple(GRAPH_SUITE)
 
 DEFAULT_TIER = "medium"        # ~10^5 vertices; pairs with scaled_config(16)
 DEFAULT_TRACE_LEN = 400_000
-TRACE_FORMAT_VERSION = 6       # bump to invalidate cached traces
+TRACE_FORMAT_VERSION = 7       # bump to invalidate cached traces
 
 # The generator over-produces this many windows' worth of accesses; the
 # measurement window is the *tail* of what was generated, which lands
@@ -70,7 +71,11 @@ def _generate(wl: Workload, tier: str, length: int) -> Trace:
     budget = length * WINDOW_OVERGEN_FACTOR
     kwargs = {}
     if wl.kernel in ("bfs", "sssp"):
-        kwargs["source"] = pick_source(graph, seed=hash(wl.name) % 1000)
+        # crc32, not hash(): str hashing is salted per process, and
+        # trace generation must be deterministic in the (name, tier,
+        # length) spec — the result cache fingerprints traces by spec.
+        kwargs["source"] = pick_source(
+            graph, seed=zlib.crc32(wl.name.encode()) % 1000)
     if wl.kernel == "pr":
         kwargs["iterations"] = 3
     if wl.kernel == "bc":
@@ -83,6 +88,24 @@ def _generate(wl: Workload, tier: str, length: int) -> Trace:
     trace.kernel = wl.kernel
     trace.graph = wl.graph
     return trace
+
+
+def _atomic_save(trace: Trace, path: Path) -> None:
+    """Write a trace cache entry atomically (temp file + rename).
+
+    Parallel workers may race to generate the same trace; writing to a
+    process-unique temp file and renaming guarantees no reader ever
+    sees a half-written .npz, and the last writer simply wins with an
+    identical file.
+    """
+    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    try:
+        with open(tmp, "wb") as fh:
+            trace.save(fh)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
 
 
 def workload_trace(wl: Workload | str, tier: str = DEFAULT_TIER,
@@ -100,7 +123,7 @@ def workload_trace(wl: Workload | str, tier: str = DEFAULT_TIER,
             path.unlink(missing_ok=True)
     trace = _generate(wl, tier, length)
     if use_cache:
-        trace.save(path)
+        _atomic_save(trace, path)
     return trace
 
 

@@ -64,37 +64,58 @@ class SPPPrefetcher:
                                                 - 1)
 
     def on_access(self, block: int, hit: bool) -> list[int]:
-        page = block // self.BLOCKS_PER_PAGE
-        offset = block % self.BLOCKS_PER_PAGE
+        # BLOCKS_PER_PAGE is 64, so the page/offset split is a shift/mask.
+        page = block >> 6
+        offset = block & 63
         tracker = self.trackers.get(page)
         prefetches: list[int] = []
         if tracker is not None:
             last_off, sig = tracker
             delta = offset - last_off
             if delta != 0:
-                self._update_pattern(sig, delta)
-                sig = self._next_sig(sig, delta)
+                patterns = self.patterns
+                totals = self.totals
+                # Inlined _update_pattern (hot path).
+                hist = patterns.setdefault(sig, {})
+                c = hist.get(delta, 0) + 1
+                hist[delta] = c if c < self.MAX_COUNT else self.MAX_COUNT
+                total = totals.get(sig, 0) + 1
+                if total > 4 * self.MAX_COUNT:
+                    for d in list(hist):
+                        hist[d] >>= 1
+                        if hist[d] == 0:
+                            del hist[d]
+                    total = sum(hist.values())
+                totals[sig] = total
+                # Inlined _next_sig; SIG_BITS = 12.
+                sig = ((sig << 3) ^ (delta & 0x7F)) & 0xFFF
                 # Walk the signature path while confident.
                 conf = 1.0
                 cur_off = offset
                 cur_sig = sig
                 for _ in range(self.MAX_DEPTH):
-                    hist = self.patterns.get(cur_sig)
+                    hist = patterns.get(cur_sig)
                     if not hist:
                         break
-                    total = self.totals.get(cur_sig, 0)
+                    total = totals.get(cur_sig, 0)
                     if total <= 0:
                         break
-                    best_delta, best_count = max(hist.items(),
-                                                 key=lambda kv: kv[1])
+                    # Manual arg-max (first maximal delta wins, exactly
+                    # as max(key=...) tie-breaks).
+                    best_delta = 0
+                    best_count = -1
+                    for d, c in hist.items():
+                        if c > best_count:
+                            best_count = c
+                            best_delta = d
                     conf *= best_count / total
                     if conf < self.THRESHOLD:
                         break
                     cur_off += best_delta
-                    if not 0 <= cur_off < self.BLOCKS_PER_PAGE:
+                    if not 0 <= cur_off < 64:
                         break
-                    prefetches.append(page * self.BLOCKS_PER_PAGE + cur_off)
-                    cur_sig = self._next_sig(cur_sig, best_delta)
+                    prefetches.append((page << 6) + cur_off)
+                    cur_sig = ((cur_sig << 3) ^ (best_delta & 0x7F)) & 0xFFF
             tracker[0] = offset
             tracker[1] = sig
         else:

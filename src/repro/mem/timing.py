@@ -18,8 +18,8 @@ Total cycles = max(front-end stream, memory completion stream).
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
+from heapq import heappop, heappush
 
 from repro.config import CoreConfig
 
@@ -60,9 +60,10 @@ class CoreTimer:
     def access(self, gap: int, latency: int, dep_completion: float | None,
                pool: int = 0) -> float:
         """Account one memory access; returns its completion time."""
-        self.instructions += 1 + gap
-        self.issue_time += (1 + gap) / self.width
-        start = self.issue_time
+        ops = 1 + gap
+        self.instructions += ops
+        issue = self.issue_time + ops / self.width
+        start = issue
 
         if dep_completion is not None and dep_completion > start:
             start = dep_completion
@@ -73,20 +74,23 @@ class CoreTimer:
             if oldest > start:
                 start = oldest
                 # ROB-full also stalls the front end.
-                self.issue_time = oldest
+                issue = oldest
 
         if latency > self.hit_latency:
             out = self._outstanding[pool]
             # Retire completed misses.
             while out and out[0] <= start:
-                heapq.heappop(out)
+                heappop(out)
             if len(out) >= self._limits[pool]:
-                start = heapq.heappop(out)
-                self.issue_time = max(self.issue_time, start)
+                freed = heappop(out)
+                start = freed
+                if freed > issue:
+                    issue = freed
             completion = start + latency
-            heapq.heappush(out, completion)
+            heappush(out, completion)
         else:
             completion = start + latency
+        self.issue_time = issue
 
         window.append(completion)
         if completion > self.finish_time:
