@@ -2,10 +2,13 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test bench bench-engine
+.PHONY: test check bench bench-engine
 
 test:                 ## tier-1 test suite
 	$(PY) -m pytest -q
+
+check:                ## quick workload subset with invariant checking on
+	REPRO_VALIDATE=1 $(PY) -m repro fig7 --quick --length 50000 --no-cache
 
 bench:                ## full paper-reproduction benchmark run
 	$(PY) -m pytest benchmarks/ --benchmark-only

@@ -35,6 +35,9 @@ def _common(parser: argparse.ArgumentParser) -> None:
                         help="bypass the on-disk result cache")
     parser.add_argument("--progress", action="store_true",
                         help="print one line per finished grid cell")
+    parser.add_argument("--check", action="store_true",
+                        help="run with invariant checking enabled "
+                             "(repro.validate; implies --no-cache)")
 
 
 def _workloads(args):
@@ -73,6 +76,16 @@ def main(argv=None) -> int:
 
     args = parser.parse_args(argv)
     cmd = args.command
+    if getattr(args, "check", False):
+        # Enable the periodic invariant hook for this process and any
+        # worker processes (they inherit the environment), and force the
+        # runs to actually simulate — a cached result verifies nothing.
+        import os
+
+        from repro.validate import check_interval
+        if not check_interval():
+            os.environ["REPRO_VALIDATE"] = "1"
+        args.no_cache = True
 
     if cmd == "config":
         from repro.experiments.runner import default_config

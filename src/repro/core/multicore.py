@@ -38,6 +38,8 @@ from repro.mem.replacement import BeladyOPT, make_policy
 from repro.mem.timing import CoreTimer
 from repro.mem.tlb import TLBHierarchy
 from repro.trace.record import Trace
+from repro.validate import check_interval
+from repro.validate.invariants import check_multicore_system
 
 CORE_ADDR_STRIDE = 1 << 44   # bytes of VA space reserved per core
 
@@ -59,11 +61,13 @@ class MultiCoreSystem:
 
     def __init__(self, config: SystemConfig | None = None,
                  variant: str = "baseline",
-                 expert_regions: list[set[int]] | None = None):
+                 expert_regions: list[set[int]] | None = None,
+                 check_every: int | None = None):
         if variant not in VARIANTS:
             raise ValueError(f"unknown variant {variant!r}")
         if variant in ("victim", "lp_bypass"):
             raise ValueError(f"{variant!r} is a single-core-only ablation")
+        self._check_every = check_interval(check_every)
         base = config or SystemConfig(num_cores=4)
         self.config = variant_config(base, variant)
         self.variant = variant
@@ -137,8 +141,10 @@ class MultiCoreSystem:
                 if c == requester or not (sharers & (1 << c)):
                     continue
                 was, dirty = self.sdcs[c].invalidate(block)
-                self.sdcdir.remove_sharer(block, c)
-                if was and dirty:
+                # Honour either dirty flag (line or directory ownership)
+                # so a writeback cannot be lost to a stale one.
+                _, was_owner = self.sdcdir.remove_sharer(block, c)
+                if (was and dirty) or was_owner:
                     self.dram.write(block)
                     wrote_back = True
         return wrote_back
@@ -182,6 +188,13 @@ class MultiCoreSystem:
                 if entry[1] != core and entry[0] & ~(1 << core):
                     self._invalidate_remote(block, core)
                 entry[1] = core
+                # _invalidate_remote spares the requester, but the write
+                # also stales a clean duplicate in the requester's *own*
+                # SDC (left by an earlier shared read) — drop it.
+                if self.sdcdir is not None \
+                        and self.sdcdir.sharers(block) & (1 << core):
+                    self.sdcs[core].invalidate(block)
+                    self.sdcdir.remove_sharer(block, core)
             return L1D, latency
 
         # Parallel SDCDir probe (paper §III-C): a copy in some SDC is
@@ -195,12 +208,18 @@ class MultiCoreSystem:
                                self.sdcdir.latency)
                 if write:
                     # Claim exclusivity: all SDC copies are invalidated.
+                    # A dirty copy's payload transfers into the L1 fill
+                    # below (dirty=write), so the ownership flag dropped
+                    # by remove_sharer incurs no writeback here.
                     for c in range(self.num_cores):
                         if sharers & (1 << c):
                             self.sdcs[c].invalidate(block)
                             self.sdcdir.remove_sharer(block, c)
                 else:
                     if self.sdcs[owner].clear_dirty(block):
+                        # Directory dirty ownership drops with the
+                        # line's dirty bit (the copy was written back).
+                        self.sdcdir.clear_dirty(block)
                         self.dram.write(block)
                 h._fill_l1(block, dirty=write)
                 entry = self._dir_entry(block)
@@ -289,7 +308,7 @@ class MultiCoreSystem:
             latency += self.config.sdc.latency
             if self.sdcs[owner].clear_dirty(block):
                 self.dram.write(block)
-                self.sdcdir.lookup(block)
+                self.sdcdir.clear_dirty(block)
             self._sdc_fill(core, block, dirty=False)
             self._sdc_prefetch(core, block + 1)
             return REMOTE, latency
@@ -297,7 +316,17 @@ class MultiCoreSystem:
             h = self.cores[c]
             for cache in (h.l1d, h.l2c):
                 if cache.contains(block):
-                    if cache.clear_dirty(block):
+                    # Clean every copy the serving core holds (the dirty
+                    # bit may sit at a deeper level than the one that
+                    # serves, e.g. clean L1 refetch above a dirty L2
+                    # line) plus a dirty LLC copy left by an earlier
+                    # collect — a dirty line below a clean shared SDC
+                    # copy breaks single-valid-copy.  MSI guarantees no
+                    # *other* core holds a dirty private copy.
+                    d1 = h.l1d.clear_dirty(block)
+                    d2 = h.l2c.clear_dirty(block)
+                    dllc = self.llc.clear_dirty(block)
+                    if d1 or d2 or dllc:
                         self.dram.write(block)
                         entry = self.directory.get(block)
                         if entry is not None and entry[1] == c:
@@ -338,6 +367,9 @@ class MultiCoreSystem:
         found = None
         sharers = self.sdcdir.sharers(block)
         if sharers & ~(1 << core):
+            # Dirty payloads transfer into the requester's write fill,
+            # so the ownership flag remove_sharer drops needs no
+            # writeback here (same as the write-claim path above).
             for c in range(self.num_cores):
                 if c != core and sharers & (1 << c):
                     self.sdcs[c].invalidate(block)
@@ -353,7 +385,14 @@ class MultiCoreSystem:
                     entry[0] &= ~(1 << c)
                     if entry[1] == c:
                         entry[1] = -1
-                probe = (h.l1d.latency if c == core else h.l2c.latency)
+                if c == core:
+                    # Deepest own-core level actually probed — charging
+                    # the L1 latency for an L2-only copy understates the
+                    # collect cost (MemoryHierarchy.extract semantics).
+                    probe = max(h.l1d.latency if p1 else 0,
+                                h.l2c.latency if p2 else 0)
+                else:
+                    probe = h.l2c.latency
                 found = max(found or 0, probe)
         was, _ = self.llc.invalidate(block)
         if was:
@@ -364,21 +403,23 @@ class MultiCoreSystem:
         sdc = self.sdcs[core]
         displaced = self.sdcdir.insert(block, core, dirty)
         if displaced is not None:
-            ev_block, sharers, _owner = displaced
+            ev_block, sharers, owner = displaced
             for c in range(self.num_cores):
                 if sharers & (1 << c):
                     was, was_dirty = self.sdcs[c].invalidate(ev_block)
-                    if was and was_dirty:
+                    if (was and was_dirty) or owner == c:
                         self.dram.write(ev_block)
         evicted = sdc.fill(block, dirty=dirty)
         if evicted is not None:
             ev_block, ev_dirty = evicted
-            self.sdcdir.remove_sharer(ev_block, core)
-            if ev_dirty:
+            _, was_owner = self.sdcdir.remove_sharer(ev_block, core)
+            if ev_dirty or was_owner:
                 self.dram.write(ev_block)
 
     def _sdc_prefetch(self, core: int, block: int) -> None:
         sdc = self.sdcs[core]
+        if self.config.sdc.prefetcher is None:
+            return
         if sdc.contains(block):
             return
         for h in self.cores:
@@ -388,17 +429,17 @@ class MultiCoreSystem:
             return
         displaced = self.sdcdir.insert(block, core, False)
         if displaced is not None:
-            ev_block, sharers, _owner = displaced
+            ev_block, sharers, owner = displaced
             for c in range(self.num_cores):
                 if sharers & (1 << c):
                     was, was_dirty = self.sdcs[c].invalidate(ev_block)
-                    if was and was_dirty:
+                    if (was and was_dirty) or owner == c:
                         self.dram.write(ev_block)
         evicted = sdc.fill(block, prefetch=True)
         if evicted is not None:
             ev_block, ev_dirty = evicted
-            self.sdcdir.remove_sharer(ev_block, core)
-            if ev_dirty:
+            _, was_owner = self.sdcdir.remove_sharer(ev_block, core)
+            if ev_dirty or was_owner:
                 self.dram.write(ev_block)
 
     # -- the run loop ------------------------------------------------------------
@@ -453,6 +494,8 @@ class MultiCoreSystem:
 
         llc_acc_start = self.llc.stats.accesses
         llc_miss_start = self.llc.stats.misses
+        check_every = self._check_every
+        total_accesses = 0
 
         while not all(first_pass_done):
             # Run the least-advanced core (by front-end clock); finished
@@ -487,6 +530,12 @@ class MultiCoreSystem:
             completions[core][i] = timers[core].access(s["gaps"][i], latency,
                                                        dep_c, pool=pool)
             pos[core] += 1
+            if check_every:
+                total_accesses += 1
+                if total_accesses % check_every == 0:
+                    check_multicore_system(self, {
+                        "access": total_accesses, "core": core,
+                        "block": block, "level": level})
             if pos[core] >= s["n"]:
                 if not wrapped[core]:
                     first_pass_done[core] = True
@@ -494,6 +543,9 @@ class MultiCoreSystem:
                 pos[core] = 0
                 wrapped[core] = True
 
+        if check_every:
+            check_multicore_system(self, {"access": total_accesses,
+                                          "position": "end-of-run"})
         per_core = [snap if snap is not None
                     else self._snapshot(c, timers[c])
                     for c, snap in enumerate(snapshots)]

@@ -52,21 +52,30 @@ class SDCDirectory:
         return self.sets[block & mask if mask >= 0
                          else block % self.num_sets]
 
-    def lookup(self, block: int) -> list[int] | None:
-        """Probe without allocation; returns the entry or None."""
+    def lookup(self, block: int, touch: bool = True) -> list[int] | None:
+        """Probe without allocation; returns the entry or None.
+
+        ``touch=True`` (an access with allocation/reuse intent) bumps
+        the entry's recency; ``touch=False`` is a pure coherence probe
+        that must not perturb victim choice — read-only consultations
+        (miss-path directory messages, residency checks) use it so they
+        cannot keep dead entries alive.
+        """
         self.stats.lookups += 1
         lines = self._lines(block)
         entry = lines.get(block)
         if entry is not None:
             self.stats.hits += 1
-            self._clock += 1
-            entry[2] = self._clock
-            # Keep each set's dict in LRU order (see insert()).
-            del lines[block]
-            lines[block] = entry
+            if touch:
+                self._clock += 1
+                entry[2] = self._clock
+                # Keep each set's dict in LRU order (see insert()).
+                del lines[block]
+                lines[block] = entry
         return entry
 
     def sharers(self, block: int) -> int:
+        """Sharer bit-vector of a block (recency-neutral probe)."""
         entry = self._lines(block).get(block)
         return entry[0] if entry is not None else 0
 
@@ -101,16 +110,27 @@ class SDCDirectory:
         lines[block] = [1 << core, core if dirty else -1, self._clock]
         return displaced
 
-    def remove_sharer(self, block: int, core: int) -> None:
+    def remove_sharer(self, block: int, core: int) -> tuple[bool, bool]:
+        """Drop core's sharer bit; returns ``(was_present,
+        was_dirty_owner)``.
+
+        When the departing core was the dirty owner, its SDC copy held
+        the only valid data — the caller must either write the line
+        back to DRAM or hand the dirty payload to whoever takes over
+        (e.g. an L1 fill with ``dirty=True``).  Silently discarding the
+        second flag loses a writeback.
+        """
         lines = self._lines(block)
         entry = lines.get(block)
         if entry is None:
-            return
+            return False, False
+        was_dirty_owner = entry[1] == core
         entry[0] &= ~(1 << core)
-        if entry[1] == core:
+        if was_dirty_owner:
             entry[1] = -1
         if entry[0] == 0:
             del lines[block]
+        return True, was_dirty_owner
 
     def drop(self, block: int) -> None:
         self._lines(block).pop(block, None)
@@ -119,6 +139,19 @@ class SDCDirectory:
         entry = self._lines(block).get(block)
         if entry is not None:
             entry[1] = core
+
+    def clear_dirty(self, block: int) -> bool:
+        """Clear dirty ownership (the owning SDC's copy was cleaned and
+        written back); returns True when an owner was recorded.
+
+        Keeps the directory's dirty state in lock-step with the SDC
+        line's dirty bit — the agreement the coherence invariants
+        assert."""
+        entry = self._lines(block).get(block)
+        if entry is None or entry[1] < 0:
+            return False
+        entry[1] = -1
+        return True
 
     def tracked_blocks(self):
         for lines in self.sets:

@@ -45,6 +45,8 @@ from repro.mem.replacement import BeladyOPT
 from repro.mem.timing import CoreTimer
 from repro.mem.tlb import TLBHierarchy, TLBStats
 from repro.trace.record import Trace
+from repro.validate import check_interval
+from repro.validate.invariants import check_single_core_system
 
 VARIANTS = ("baseline", "sdc_lp", "topt", "distill", "l1iso", "llc2x",
             "expert", "victim", "lp_bypass")
@@ -195,11 +197,17 @@ class SingleCoreSystem:
                  variant: str = "baseline",
                  expert_regions: set[int] | None = None,
                  enable_prefetch: bool = True,
-                 enable_tlb: bool = True):
+                 enable_tlb: bool = True,
+                 check_every: int | None = None):
         if variant not in VARIANTS:
             raise ValueError(f"unknown variant {variant!r}; "
                              f"choose from {VARIANTS}")
         self.variant = variant
+        # Invariant checking (repro.validate): 0 = off.  Resolved once
+        # here from the argument or REPRO_VALIDATE so the run loop pays
+        # a single falsy test per access when disabled.
+        self._check_every = check_interval(check_every)
+        self._ledger_valid = True
         base = config or SystemConfig()
         self.config = variant_config(base, variant)
         self.expert_regions = expert_regions or set()
@@ -246,15 +254,20 @@ class SingleCoreSystem:
         sdc, sdcdir = self.sdc, self.sdcdir
         displaced = sdcdir.insert(block, 0, dirty)
         if displaced is not None:
-            # SDCDir eviction invalidates the SDC copy (§III-C).
+            # SDCDir eviction invalidates the SDC copy (§III-C).  Either
+            # dirty flag (the line's bit or the directory's recorded
+            # owner) obliges a writeback.
             was, was_dirty = sdc.invalidate(displaced[0])
-            if was and was_dirty:
+            if (was and was_dirty) or displaced[2] == 0:
                 self.hierarchy.dram.write(displaced[0])
         evicted = sdc.fill(block, dirty=dirty)
         if evicted is not None:
             ev_block, ev_dirty = evicted
-            sdcdir.remove_sharer(ev_block, 0)
-            if ev_dirty:
+            # The departing line's dirty bit and the directory's dirty
+            # ownership must agree; honour either so a writeback can
+            # never be lost to a stale flag on one side.
+            _, was_owner = sdcdir.remove_sharer(ev_block, 0)
+            if ev_dirty or was_owner:
                 self.hierarchy.dram.write(ev_block)
 
     def _sdc_prefetch(self, block: int) -> None:
@@ -278,13 +291,13 @@ class SingleCoreSystem:
         displaced = self.sdcdir.insert(block, 0, False)
         if displaced is not None:
             was, was_dirty = sdc.invalidate(displaced[0])
-            if was and was_dirty:
+            if (was and was_dirty) or displaced[2] == 0:
                 self.hierarchy.dram.write(displaced[0])
         evicted = sdc.fill(block, prefetch=True)
         if evicted is not None:
             ev_block, ev_dirty = evicted
-            self.sdcdir.remove_sharer(ev_block, 0)
-            if ev_dirty:
+            _, was_owner = self.sdcdir.remove_sharer(ev_block, 0)
+            if ev_dirty or was_owner:
                 self.hierarchy.dram.write(ev_block)
 
     def _access_via_sdc(self, block: int, write: bool) -> tuple[int, int]:
@@ -306,8 +319,11 @@ class SingleCoreSystem:
             self._sdc_prefetch(block + 1)
             return SDC_LEVEL, latency
         # Miss: lightweight coherence message to the directory (§III-A).
+        # A pure probe — it must not bump the entry's recency, or a
+        # stream of misses to a dead block would keep its stale SDCDir
+        # entry alive and skew victim selection.
         latency += self.config.sdc_miss_dir_latency
-        self.sdcdir.lookup(block)
+        self.sdcdir.lookup(block, touch=False)
         if write:
             present, probe_lat = h.extract(block)
             if present:
@@ -331,9 +347,17 @@ class SingleCoreSystem:
 
     def _probe_hierarchy_clean(self, block: int) -> int | None:
         """Non-destructive read probe of L1D/L2C/LLC: returns the probe
-        latency when a copy exists (writing a dirty copy back so both
-        copies are clean), else None."""
+        latency of the shallowest level holding a copy, else None.
+
+        Every resident copy is cleaned (single writeback when any level
+        was dirty), not just the serving one: the block may live at
+        several levels with the dirty bit at a deeper one (e.g. clean
+        refetch into the L1 above a dirty L2 line), and a copy left
+        dirty below a clean shared SDC copy breaks single-valid-copy.
+        """
         h = self.hierarchy
+        serve_latency = None
+        was_dirty = False
         for cache in (h.l1d, h.l2c, h.llc):
             # Inlined contains + clear_dirty (one split, one dict get).
             m = cache._set_mask
@@ -343,11 +367,14 @@ class SingleCoreSystem:
                 line = cache.sets[block % cache.num_sets].get(
                     block // cache.num_sets)
             if line is not None:
+                if serve_latency is None:
+                    serve_latency = cache.latency
                 if line[1]:
                     line[1] = 0
-                    h.dram.write(block)
-                return cache.latency
-        return None
+                    was_dirty = True
+        if was_dirty:
+            h.dram.write(block)
+        return serve_latency
 
     def _access_regular_with_sdc(self, block: int, write: bool, aux,
                                  pc: int = 0) -> tuple[int, int]:
@@ -380,6 +407,17 @@ class SingleCoreSystem:
                 if not l1d.contains(pf) and not sdc.contains(pf):
                     h._fill_l1(pf, prefetch=True)
         if l1_hit:
+            if write:
+                # A write claims the single valid copy (§III-C): a clean
+                # duplicate the SDC may hold (left by an earlier shared
+                # read) is now stale and must be dropped.  Inlined
+                # residency probe — this runs on every L1 write hit.
+                m = sdc._set_mask
+                resident = ((block >> sdc._set_bits) in sdc.sets[block & m]
+                            if m >= 0 else sdc.contains(block))
+                if resident:
+                    sdc.invalidate(block)
+                    self.sdcdir.remove_sharer(block, 0)
             return L1D, latency
         if sdc.contains(block):
             # Parallel SDCDir hit: serve from the SDC.  A read leaves a
@@ -388,11 +426,18 @@ class SingleCoreSystem:
             latency += max(h.l2c.latency, sdc.latency +
                            self.sdcdir.latency)
             if write:
+                # Dirty ownership (if any) transfers with the data into
+                # the L1 fill below (dirty=True), so the dropped
+                # remove_sharer ownership flag incurs no writeback here.
                 sdc.invalidate(block)
                 self.sdcdir.remove_sharer(block, 0)
                 h._fill_l1(block, dirty=True)
             else:
                 if sdc.clear_dirty(block):
+                    # The SDC copy was cleaned and written back; the
+                    # directory's dirty ownership must drop with it or a
+                    # later eviction double-counts the writeback.
+                    self.sdcdir.clear_dirty(block)
                     h.dram.write(block)
                 h._fill_l1(block, dirty=False)
             return SDC_LEVEL, latency
@@ -542,6 +587,7 @@ class SingleCoreSystem:
         tlb = self.tlb
         stats_reset_at = min(warmup, n)
         flush_every = flush_sdc_every or 0
+        check_every = self._check_every
         tlb_translate = tlb.translate_page if tlb is not None else None
         timer_access = timer.access
         hierarchy_access = hierarchy.access_fast
@@ -595,7 +641,14 @@ class SingleCoreSystem:
                                           dep_c, pool)
             if levels is not None:
                 levels[i] = level
+            if check_every and (i + 1) % check_every == 0:
+                check_single_core_system(self, {
+                    "access": i, "pc": pc, "block": block,
+                    "level": level})
 
+        if check_every and n:
+            check_single_core_system(self, {"access": n - 1,
+                                            "position": "end-of-run"})
         return SystemStats(
             variant=self.variant,
             instructions=timer.instructions,
@@ -651,6 +704,9 @@ class SingleCoreSystem:
                 s.clear()
 
     def _reset_stats(self) -> None:
+        # The stat window no longer covers the caches' whole life, so
+        # the fill/eviction/occupancy ledger cannot balance from here on.
+        self._ledger_valid = False
         h = self.hierarchy
         h.l1d.stats = CacheStats()
         h.l2c.stats = CacheStats()

@@ -26,7 +26,14 @@ from repro.mem.replacement import LRUPolicy, make_policy
 
 @dataclass
 class CacheStats:
-    """Demand/prefetch/writeback counters for one cache."""
+    """Demand/prefetch/writeback counters for one cache.
+
+    ``fills`` counts line *installs* (not refreshes of already-resident
+    lines) and ``invalidations`` counts removals via ``invalidate``/
+    ``flush``, so the ledger ``fills - evictions - invalidations ==
+    occupancy`` holds whenever the stat window covers the cache's whole
+    life — one of the conservation laws ``repro.validate`` checks.
+    """
 
     accesses: int = 0
     hits: int = 0
@@ -35,6 +42,8 @@ class CacheStats:
     prefetch_hits: int = 0       # demand hits on prefetched lines
     writebacks: int = 0
     evictions: int = 0
+    fills: int = 0               # line installs (demand + prefetch)
+    invalidations: int = 0       # removals via invalidate()/flush()
 
     @property
     def hit_rate(self) -> float:
@@ -50,13 +59,16 @@ class CacheStats:
             self.prefetch_fills + other.prefetch_fills,
             self.prefetch_hits + other.prefetch_hits,
             self.writebacks + other.writebacks,
-            self.evictions + other.evictions)
+            self.evictions + other.evictions,
+            self.fills + other.fills,
+            self.invalidations + other.invalidations)
 
 
 class SetAssocCache:
     """One level of set-associative cache."""
 
-    def __init__(self, config: CacheConfig, policy=None):
+    def __init__(self, config: CacheConfig, policy=None,
+                 inline_lru: bool = True):
         self.config = config
         self.num_sets = config.num_sets
         self.ways = config.ways
@@ -84,8 +96,12 @@ class SetAssocCache:
             self._set_mask = -1
             self._set_bits = 0
         # LRU is by far the most common policy; inline its two-line
-        # on_hit/on_fill bodies on the hot path.
-        self._lru = self.policy if type(self.policy) is LRUPolicy else None
+        # on_hit/on_fill bodies on the hot path.  ``inline_lru=False``
+        # keeps the generic protocol alive for differential validation
+        # (repro.validate.differential), which must be able to run the
+        # same stream through both implementations.
+        self._lru = self.policy \
+            if inline_lru and type(self.policy) is LRUPolicy else None
         self.stats = CacheStats()
 
     def _split(self, block: int) -> tuple[int, int]:
@@ -174,7 +190,15 @@ class SetAssocCache:
              aux=None) -> tuple[int, bool] | None:
         """Install a block; returns ``(evicted_block, was_dirty)`` or None.
 
-        Filling a block that is already resident just updates its state.
+        Re-fill semantics (block already resident): the line's recency
+        and dirty bit are updated, and no install is counted.  A
+        *demand* re-fill (``prefetch=False``) additionally clears a
+        stale prefetch bit — the line now holds demanded data, so a
+        later demand hit must not be credited to the prefetcher.  A
+        *prefetch* re-fill is a no-op for the prefetch machinery: the
+        bit is left unchanged and ``prefetch_fills`` is not incremented
+        (nothing was installed), so prefetch accuracy cannot be
+        inflated by re-prefetching resident lines.
         """
         mask = self._set_mask
         if mask >= 0:
@@ -191,6 +215,8 @@ class SetAssocCache:
         if line is not None:
             if dirty:
                 line[1] = 1
+            if not prefetch:
+                line[2] = 0
             if lru is not None:
                 lru._clock += 1
                 line[0] = lru._clock
@@ -220,6 +246,7 @@ class SetAssocCache:
         else:
             self.policy.on_fill(new_line, aux)
         lines[tag] = new_line
+        self.stats.fills += 1
         if prefetch:
             self.stats.prefetch_fills += 1
         return evicted
@@ -230,6 +257,7 @@ class SetAssocCache:
         line = self.sets[set_idx].pop(tag, None)
         if line is None:
             return False, False
+        self.stats.invalidations += 1
         return True, bool(line[1])
 
     def clear_dirty(self, block: int) -> bool:
@@ -253,4 +281,5 @@ class SetAssocCache:
 
     def flush(self) -> None:
         for s in self.sets:
+            self.stats.invalidations += len(s)
             s.clear()

@@ -117,6 +117,80 @@ class TestLRUOrder:
         assert c.stats.prefetch_hits == 1
 
 
+class TestRefillSemantics:
+    """Regression: re-filling a resident line used to ignore the
+    prefetch flag entirely — a demand re-fill left a stale prefetch bit
+    (inflating prefetch_hits later) and a prefetch re-fill could not be
+    distinguished from an install."""
+
+    def test_demand_refill_clears_stale_prefetch_bit(self):
+        c = make_cache()
+        c.fill(1, prefetch=True)
+        c.fill(1)                      # demand re-fill: line is demanded now
+        c.access(1, False)
+        assert c.stats.prefetch_hits == 0
+
+    def test_prefetch_refill_is_inert(self):
+        c = make_cache()
+        c.fill(1)
+        c.fill(1, prefetch=True)       # nothing installed, bit unchanged
+        assert c.stats.prefetch_fills == 0
+        c.access(1, False)
+        assert c.stats.prefetch_hits == 0
+
+    def test_prefetch_refill_preserves_existing_bit(self):
+        c = make_cache()
+        c.fill(1, prefetch=True)
+        c.fill(1, prefetch=True)
+        assert c.stats.prefetch_fills == 1     # only the install counted
+        c.access(1, False)
+        assert c.stats.prefetch_hits == 1
+
+    def test_refill_keeps_dirty_bit(self):
+        c = make_cache()
+        c.fill(1, dirty=True)
+        c.fill(1)                      # clean re-fill must not lose dirty
+        assert c.is_dirty(1)
+
+
+class TestFillLedger:
+    """fills - evictions - invalidations == occupancy, whenever the
+    stat window covers the cache's whole life."""
+
+    def _balance(self, c):
+        s = c.stats
+        return s.fills - s.evictions - s.invalidations == c.occupancy
+
+    def test_ledger_balances_through_churn(self):
+        c = make_cache(blocks=4, ways=2)
+        for b in range(10):
+            if not c.access(b, b % 3 == 0):
+                c.fill(b, dirty=b % 3 == 0)
+            assert self._balance(c)
+
+    def test_refill_does_not_count_as_install(self):
+        c = make_cache()
+        c.fill(1)
+        c.fill(1)
+        assert c.stats.fills == 1
+
+    def test_invalidate_and_flush_counted(self):
+        c = make_cache(blocks=4, ways=2)
+        for b in range(4):
+            c.fill(b)
+        c.invalidate(0)
+        assert c.stats.invalidations == 1
+        assert self._balance(c)
+        c.flush()
+        assert c.stats.invalidations == 4
+        assert self._balance(c)
+
+    def test_absent_invalidate_not_counted(self):
+        c = make_cache()
+        c.invalidate(42)
+        assert c.stats.invalidations == 0
+
+
 class TestStats:
     def test_hit_rate(self):
         c = make_cache()

@@ -62,6 +62,68 @@ class TestBasics:
         d.drop(3)      # idempotent
 
 
+class TestRemoveSharerReturns:
+    """Regression: remove_sharer used to silently discard dirty
+    ownership — callers could not know a writeback was owed."""
+
+    def test_absent_block(self):
+        assert sdcdir().remove_sharer(9, 0) == (False, False)
+
+    def test_clean_sharer(self):
+        d = sdcdir(cores=2)
+        d.insert(7, core=0, dirty=False)
+        assert d.remove_sharer(7, 0) == (True, False)
+
+    def test_dirty_owner_reported(self):
+        d = sdcdir(cores=2)
+        d.insert(7, core=0, dirty=True)
+        d.insert(7, core=1, dirty=False)
+        assert d.remove_sharer(7, 0) == (True, True)
+        # Ownership was surrendered with the flag.
+        assert d.lookup(7)[1] == -1
+
+    def test_non_owner_not_reported(self):
+        d = sdcdir(cores=2)
+        d.insert(7, core=0, dirty=True)
+        d.insert(7, core=1, dirty=False)
+        assert d.remove_sharer(7, 1) == (True, False)
+        assert d.lookup(7)[1] == 0      # core 0 still owns
+
+
+class TestProbeOnlyLookup:
+    def test_touch_false_preserves_victim_choice(self):
+        # Regression: miss-path coherence probes used to bump recency,
+        # keeping dead entries alive and perturbing victim selection.
+        d = sdcdir(entries=4, ways=2)
+        nsets = d.num_sets
+        d.insert(0, 0, False)
+        d.insert(nsets, 0, False)
+        d.lookup(0, touch=False)           # pure probe
+        displaced = d.insert(2 * nsets, 0, False)
+        assert displaced[0] == 0           # block 0 is still the LRU
+
+    def test_touch_false_still_counts_stats(self):
+        d = sdcdir()
+        d.insert(5, 0, False)
+        d.lookup(5, touch=False)
+        assert d.stats.lookups == 1
+        assert d.stats.hits == 1
+
+
+class TestClearDirty:
+    def test_clears_ownership(self):
+        d = sdcdir(cores=2)
+        d.insert(7, core=1, dirty=True)
+        assert d.clear_dirty(7) is True
+        assert d.lookup(7)[1] == -1
+
+    def test_clean_or_absent_is_noop(self):
+        d = sdcdir()
+        assert d.clear_dirty(7) is False
+        d.insert(7, core=0, dirty=False)
+        assert d.clear_dirty(7) is False
+
+
 class TestCapacity:
     def test_eviction_on_full_set(self):
         d = sdcdir(entries=4, ways=2)     # 2 sets
@@ -99,3 +161,38 @@ class TestCapacity:
         for b in (1, 2, 3):
             d.insert(b, 0, False)
         assert set(d.tracked_blocks()) == {1, 2, 3}
+
+
+class TestSystemWritebackAccounting:
+    """The remove_sharer return value drives DRAM writeback accounting
+    in the systems; pin both directions on a crafted fill stream."""
+
+    def _system(self):
+        from repro.config import scaled_config
+        from repro.core.system import SingleCoreSystem
+        return SingleCoreSystem(scaled_config(64), "sdc_lp")
+
+    def test_dirty_sdc_eviction_writes_back(self):
+        system = self._system()
+        ways = system.sdc.ways * system.sdc.num_sets
+        system._sdc_fill(0, dirty=True)
+        nsets = system.sdc.num_sets
+        for k in range(1, ways + 1):       # conflict block 0 out
+            system._sdc_fill(k * nsets, dirty=False)
+        assert not system.sdc.contains(0)
+        assert system.hierarchy.dram.stats.writes == 1
+
+    def test_cleaned_line_not_written_back_twice(self):
+        # Regression: a shared read cleans the SDC line and writes it
+        # back; the directory's dirty owner must drop with it, or the
+        # later eviction pays a second, bogus writeback.
+        system = self._system()
+        system._sdc_fill(0, dirty=True)
+        assert system.sdc.clear_dirty(0) is True
+        assert system.sdcdir.clear_dirty(0) is True
+        ways = system.sdc.ways * system.sdc.num_sets
+        nsets = system.sdc.num_sets
+        for k in range(1, ways + 1):
+            system._sdc_fill(k * nsets, dirty=False)
+        assert not system.sdc.contains(0)
+        assert system.hierarchy.dram.stats.writes == 0
