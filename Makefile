@@ -1,14 +1,44 @@
 # Convenience targets; everything assumes PYTHONPATH=src (no install).
 
+SHELL := /bin/bash
 PY := PYTHONPATH=src python
 
-.PHONY: test check bench bench-engine
+# Fault set for check-faults: all, exc, crash, hang or corrupt.
+FAULT_SET ?= all
+
+.PHONY: test check check-faults bench bench-engine
 
 test:                 ## tier-1 test suite
 	$(PY) -m pytest -q
 
 check:                ## quick workload subset with invariant checking on
 	REPRO_VALIDATE=1 $(PY) -m repro fig7 --quick --length 50000 --no-cache
+
+check-faults:         ## fault-injected grids must match the fault-free run
+	set -euo pipefail; \
+	work=$$(mktemp -d); trap 'rm -rf "$$work"' EXIT; \
+	cmd="env $(PY) -m repro fig7 --quick --tier tiny --length 20000 --retries 3"; \
+	strip() { grep -v '^  \['; }; \
+	want() { [ "$(FAULT_SET)" = all ] || [ "$(FAULT_SET)" = "$$1" ]; }; \
+	$$cmd --no-cache > "$$work/clean.txt"; \
+	if want exc; then \
+	  REPRO_FAULTS='seed=7,exc:0.3:2' $$cmd --no-cache --jobs 2 \
+	    | strip > "$$work/got.txt"; \
+	  diff "$$work/clean.txt" "$$work/got.txt"; fi; \
+	if want crash; then \
+	  REPRO_FAULTS='seed=7,crash:0.2' $$cmd --no-cache --jobs 2 \
+	    | strip > "$$work/got.txt"; \
+	  diff "$$work/clean.txt" "$$work/got.txt"; fi; \
+	if want hang; then \
+	  REPRO_FAULTS='seed=11,hang:0.1:1:60' $$cmd --no-cache --jobs 2 \
+	    --timeout 15 | strip > "$$work/got.txt"; \
+	  diff "$$work/clean.txt" "$$work/got.txt"; fi; \
+	if want corrupt; then \
+	  REPRO_CACHE_DIR="$$work/cache" REPRO_FAULTS='seed=7,corrupt:1.0' \
+	    $$cmd --jobs 2 | strip > /dev/null; \
+	  REPRO_CACHE_DIR="$$work/cache" $$cmd > "$$work/got.txt"; \
+	  diff "$$work/clean.txt" "$$work/got.txt"; fi; \
+	echo "check-faults[$(FAULT_SET)]: fault-injected output identical to fault-free"
 
 bench:                ## full paper-reproduction benchmark run
 	$(PY) -m pytest benchmarks/ --benchmark-only

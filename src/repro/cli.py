@@ -38,6 +38,20 @@ def _common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--check", action="store_true",
                         help="run with invariant checking enabled "
                              "(repro.validate; implies --no-cache)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SEC",
+                        help="per-cell timeout for parallel grid runs; "
+                             "hung workers are detected and the cell "
+                             "retried")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="retry attempts per failed grid cell "
+                             "(exponential backoff; default 2)")
+    parser.add_argument("--resume", metavar="RUN_ID", default=None,
+                        help="resume an interrupted sweep from its run "
+                             "manifest (see docs/RESILIENCE.md)")
+    parser.add_argument("--fail-fast", action="store_true",
+                        help="abort the whole grid on the first "
+                             "permanent cell failure")
 
 
 def _workloads(args):
@@ -113,11 +127,33 @@ def main(argv=None) -> int:
     kw = dict(tier=args.tier, length=args.length)
     # Grid-shaped commands run on the parallel engine; the rest are
     # single-simulation studies that take only tier/length.
-    from repro.experiments.parallel import print_progress
+    from repro.experiments.parallel import (GridError, GridInterrupted,
+                                            RunPolicy, print_progress)
+    policy = RunPolicy(timeout=args.timeout, retries=args.retries,
+                       fail_fast=args.fail_fast)
     gkw = dict(kw, jobs=args.jobs, use_cache=not args.no_cache,
                progress=print_progress
-               if (args.progress or args.jobs > 1) else None)
+               if (args.progress or args.jobs > 1) else None,
+               policy=policy, run_id=args.resume)
     wls = _workloads(args)
+    try:
+        return _dispatch_figure(cmd, args, kw, gkw, wls)
+    except GridInterrupted as gi:
+        print(f"\nInterrupted — every completed cell is checkpointed "
+              f"({gi.summary}).")
+        print(f"Resume with: --resume {gi.run_id}")
+        return 130
+    except GridError as ge:
+        print(f"\n{ge}")
+        for label, err in sorted(ge.failures.items()):
+            print(f"  {label}: {err}")
+        if ge.run_id is not None:
+            print(f"Completed cells are checkpointed; retry the rest "
+                  f"with: --resume {ge.run_id}")
+        return 1
+
+
+def _dispatch_figure(cmd, args, kw, gkw, wls) -> int:
     if cmd == "fig2":
         print(report.render_fig2(figures.fig2_mpki(wls, **gkw)))
     elif cmd == "fig3":
@@ -163,13 +199,13 @@ def main(argv=None) -> int:
             figures.context_switch_study(wls, **kw)))
     elif cmd == "fig14":
         res = figures.fig14_multicore(num_mixes=args.mixes,
+                                      jobs=gkw["jobs"],
+                                      use_cache=gkw["use_cache"],
+                                      progress=gkw["progress"],
+                                      policy=gkw["policy"],
+                                      run_id=gkw["run_id"],
                                       tier=args.tier,
-                                      length=args.length // 2,
-                                      jobs=args.jobs,
-                                      use_cache=not args.no_cache,
-                                      progress=print_progress
-                                      if (args.progress or args.jobs > 1)
-                                      else None)
+                                      length=args.length // 2)
         print(report.render_fig14(res))
     return 0
 

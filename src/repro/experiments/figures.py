@@ -65,13 +65,15 @@ class Fig2Result:
 def fig2_mpki(workloads=None, config: SystemConfig | None = None,
               tier: str = DEFAULT_TIER, length: int = DEFAULT_TRACE_LEN,
               jobs: int = 1, use_cache: bool = True,
-              progress=None) -> Fig2Result:
+              progress=None, policy=None,
+              run_id=None) -> Fig2Result:
     """Baseline L1D/L2C/LLC MPKI per workload (paper Fig. 2)."""
     cfg = config or default_config()
     wls = _workload_list(workloads)
     grid = [Job(wl, "baseline", cfg, tier, length) for wl in wls]
     stats_list = run_grid(grid, jobs=jobs, use_cache=use_cache,
-                          progress=progress)
+                          progress=progress, policy=policy,
+                          run_id=run_id)
     res = Fig2Result([], [], [], [])
     for wl, stats in zip(wls, stats_list):
         res.workloads.append(wl.name)
@@ -163,7 +165,8 @@ def fig7_single_core(workloads=None, variants=SINGLE_CORE_VARIANTS,
                      config: SystemConfig | None = None,
                      tier: str = DEFAULT_TIER,
                      length: int = DEFAULT_TRACE_LEN, jobs: int = 1,
-                     use_cache: bool = True, progress=None) -> Fig7Result:
+                     use_cache: bool = True, progress=None, policy=None,
+                     run_id=None) -> Fig7Result:
     """Speedup of each design over Baseline, per workload (paper Fig. 7)."""
     cfg = config or default_config()
     wls = _workload_list(workloads)
@@ -171,7 +174,8 @@ def fig7_single_core(workloads=None, variants=SINGLE_CORE_VARIANTS,
     grid = [Job(wl, v, cfg, tier, length)
             for wl in wls for v in all_variants]
     results = iter(run_grid(grid, jobs=jobs, use_cache=use_cache,
-                            progress=progress))
+                            progress=progress, policy=policy,
+                            run_id=run_id))
     res = Fig7Result([w.name for w in wls], {v: [] for v in variants})
     for wl in wls:
         base = next(results)
@@ -200,30 +204,34 @@ def fig8_l2_llc_mpki(workloads=None, config: SystemConfig | None = None,
                      tier: str = DEFAULT_TIER,
                      length: int = DEFAULT_TRACE_LEN, jobs: int = 1,
                      use_cache: bool = True,
-                     progress=None) -> MPKICompareResult:
+                     progress=None, policy=None,
+                     run_id=None) -> MPKICompareResult:
     """L2C and LLC MPKI, Baseline vs SDC+LP (paper Fig. 8)."""
     return _mpki_compare(("l2c", "llc"), workloads, config, tier, length,
-                         jobs, use_cache, progress)
+                         jobs, use_cache, progress, policy, run_id)
 
 
 def fig9_l1_sdc_mpki(workloads=None, config: SystemConfig | None = None,
                      tier: str = DEFAULT_TIER,
                      length: int = DEFAULT_TRACE_LEN, jobs: int = 1,
                      use_cache: bool = True,
-                     progress=None) -> MPKICompareResult:
+                     progress=None, policy=None,
+                     run_id=None) -> MPKICompareResult:
     """L1D (and SDC) MPKI, Baseline vs SDC+LP (paper Fig. 9)."""
     return _mpki_compare(("l1d", "sdc"), workloads, config, tier, length,
-                         jobs, use_cache, progress)
+                         jobs, use_cache, progress, policy, run_id)
 
 
 def _mpki_compare(caches, workloads, config, tier, length, jobs=1,
-                  use_cache=True, progress=None) -> MPKICompareResult:
+                  use_cache=True, progress=None, policy=None,
+                  run_id=None) -> MPKICompareResult:
     cfg = config or default_config()
     wls = _workload_list(workloads)
     grid = [Job(wl, v, cfg, tier, length)
             for wl in wls for v in ("baseline", "sdc_lp")]
     results = iter(run_grid(grid, jobs=jobs, use_cache=use_cache,
-                            progress=progress))
+                            progress=progress, policy=policy,
+                            run_id=run_id))
     res = MPKICompareResult([w.name for w in wls],
                             {c: [] for c in caches},
                             {c: [] for c in caches})
@@ -254,7 +262,8 @@ class Fig10Result:
 def fig10_sdc_size(workloads=None, config: SystemConfig | None = None,
                    tier: str = DEFAULT_TIER,
                    length: int = DEFAULT_TRACE_LEN, jobs: int = 1,
-                   use_cache: bool = True, progress=None) -> Fig10Result:
+                   use_cache: bool = True, progress=None, policy=None,
+                   run_id=None) -> Fig10Result:
     """SDC MPKI and speedup for 8/16/32 KiB-class SDCs (paper Fig. 10)."""
     cfg = config or default_config()
     wls = _workload_list(workloads)
@@ -269,7 +278,7 @@ def fig10_sdc_size(workloads=None, config: SystemConfig | None = None,
         grid.extend(Job(wl, "sdc_lp", point_cfgs[-1], tier, length)
                     for wl in wls)
     results = run_grid(grid, jobs=jobs, use_cache=use_cache,
-                       progress=progress)
+                       progress=progress, policy=policy, run_id=run_id)
     n = len(wls)
     bases = results[:n]
     res = Fig10Result([], [], [])
@@ -295,7 +304,8 @@ class SweepResult:
 
 def _lp_sweep(lp_configs: list[LPConfig], points, label, workloads, config,
               tier, length, jobs=1, use_cache=True,
-              progress=None) -> SweepResult:
+              progress=None, policy=None,
+              run_id=None) -> SweepResult:
     cfg = config or default_config()
     wls = _workload_list(workloads)
     # The baseline variant never consults the LP, so one baseline per
@@ -305,7 +315,7 @@ def _lp_sweep(lp_configs: list[LPConfig], points, label, workloads, config,
         cfg_i = dataclasses.replace(cfg, lp=lp)
         grid.extend(Job(wl, "sdc_lp", cfg_i, tier, length) for wl in wls)
     results = run_grid(grid, jobs=jobs, use_cache=use_cache,
-                       progress=progress)
+                       progress=progress, policy=policy, run_id=run_id)
     n = len(wls)
     bases = results[:n]
     res = SweepResult(list(points), [], label)
@@ -319,23 +329,27 @@ def _lp_sweep(lp_configs: list[LPConfig], points, label, workloads, config,
 def fig11_lp_entries(workloads=None, config: SystemConfig | None = None,
                      entries=(8, 16, 32, 64), tier: str = DEFAULT_TIER,
                      length: int = DEFAULT_TRACE_LEN, jobs: int = 1,
-                     use_cache: bool = True, progress=None) -> SweepResult:
+                     use_cache: bool = True, progress=None, policy=None,
+                     run_id=None) -> SweepResult:
     """Fully-associative LP tables of 8..64 entries (paper Fig. 11)."""
     base_lp = (config or default_config()).lp
     lps = [dataclasses.replace(base_lp, entries=e, ways=e) for e in entries]
     return _lp_sweep(lps, entries, "LP entries (fully assoc.)", workloads,
-                     config, tier, length, jobs, use_cache, progress)
+                     config, tier, length, jobs, use_cache, progress,
+                     policy, run_id)
 
 
 def fig12_lp_assoc(workloads=None, config: SystemConfig | None = None,
                    ways=(1, 2, 8, 32), tier: str = DEFAULT_TIER,
                    length: int = DEFAULT_TRACE_LEN, jobs: int = 1,
-                   use_cache: bool = True, progress=None) -> SweepResult:
+                   use_cache: bool = True, progress=None, policy=None,
+                   run_id=None) -> SweepResult:
     """32-entry LP at different associativities (paper Fig. 12)."""
     base_lp = (config or default_config()).lp
     lps = [dataclasses.replace(base_lp, entries=32, ways=w) for w in ways]
     return _lp_sweep(lps, ways, "LP associativity (32 entries)", workloads,
-                     config, tier, length, jobs, use_cache, progress)
+                     config, tier, length, jobs, use_cache, progress,
+                     policy, run_id)
 
 
 # ---------------------------------------------------------------------------
@@ -353,7 +367,8 @@ def tau_sweep(workloads=None, config: SystemConfig | None = None,
               taus=(0, 2, 4, 8, 16, 64, 256), tier: str = DEFAULT_TIER,
               length: int = DEFAULT_TRACE_LEN, regular_len: int = 100_000,
               jobs: int = 1, use_cache: bool = True,
-              progress=None) -> TauSweepResult:
+              progress=None, policy=None,
+              run_id=None) -> TauSweepResult:
     """Speedup vs τ_glob on graph and regular workloads (paper §V-B3)."""
     from repro.trace.synthetic import regular_suite
     cfg = config or default_config()
@@ -372,7 +387,7 @@ def tau_sweep(workloads=None, config: SystemConfig | None = None,
         grid += [Job(wl, "sdc_lp", cfg_i, tier, length) for wl in wls]
         grid += [Job(t, "sdc_lp", cfg_i) for t in regular]
     results = run_grid(grid, jobs=jobs, use_cache=use_cache,
-                       progress=progress)
+                       progress=progress, policy=policy, run_id=run_id)
     ng, nr = len(wls), len(regular)
     gap_base, reg_base = results[:ng], results[ng:ng + nr]
     res = TauSweepResult(list(taus), [], [])
@@ -405,7 +420,8 @@ class Fig13Result:
 def fig13_expert(workloads=None, config: SystemConfig | None = None,
                  tier: str = DEFAULT_TIER,
                  length: int = DEFAULT_TRACE_LEN, jobs: int = 1,
-                 use_cache: bool = True, progress=None) -> Fig13Result:
+                 use_cache: bool = True, progress=None, policy=None,
+                 run_id=None) -> Fig13Result:
     """Speedups of SDC+LP and Expert Programmer over Baseline (Fig. 13).
 
     The expert cell is the :data:`~repro.experiments.parallel.EXPERT_BEST`
@@ -417,7 +433,8 @@ def fig13_expert(workloads=None, config: SystemConfig | None = None,
     grid = [Job(wl, v, cfg, tier, length)
             for wl in wls for v in ("baseline", "sdc_lp", EXPERT_BEST)]
     results = iter(run_grid(grid, jobs=jobs, use_cache=use_cache,
-                            progress=progress))
+                            progress=progress, policy=policy,
+                            run_id=run_id))
     res = Fig13Result([w.name for w in wls], [], [])
     for _ in wls:
         base = next(results)
@@ -451,7 +468,8 @@ def fig14_multicore(num_mixes: int = 50, cores: int = 4,
                     tier: str = DEFAULT_TIER,
                     length: int = DEFAULT_TRACE_LEN // 2,
                     seed: int = 42, jobs: int = 1, use_cache: bool = True,
-                    progress=None) -> Fig14Result:
+                    progress=None, policy=None,
+                    run_id=None) -> Fig14Result:
     """Weighted speedup of each design over Baseline on random 4-thread
     mixes (paper Fig. 14, §IV-D methodology)."""
     cfg = dataclasses.replace(config or default_config(), num_cores=cores)
@@ -467,7 +485,8 @@ def fig14_multicore(num_mixes: int = 50, cores: int = 4,
     mix_grid = [Job(tuple(wl.name for wl in mix), v, cfg, tier, length)
                 for mix in mixes for v in all_variants]
     results = iter(run_grid(single_grid + mix_grid, jobs=jobs,
-                            use_cache=use_cache, progress=progress))
+                            use_cache=use_cache, progress=progress,
+                            policy=policy, run_id=run_id))
     singles = {(v, name): next(results).ipc
                for v in all_variants for name in needed}
 
@@ -511,7 +530,8 @@ class AblationResult:
 def ablation_study(workloads=None, config: SystemConfig | None = None,
                    tier: str = DEFAULT_TIER,
                    length: int = DEFAULT_TRACE_LEN, jobs: int = 1,
-                   use_cache: bool = True, progress=None) -> AblationResult:
+                   use_cache: bool = True, progress=None, policy=None,
+                   run_id=None) -> AblationResult:
     """Decompose SDC+LP's benefit into its ingredients:
 
     * ``victim``      — iso-storage L1 victim cache: is 8 KiB of extra
@@ -538,7 +558,8 @@ def ablation_study(workloads=None, config: SystemConfig | None = None,
         grid.append(Job(nodep, "baseline", cfg))
         grid.append(Job(nodep, "sdc_lp", cfg))
     results = iter(run_grid(grid, jobs=jobs, use_cache=use_cache,
-                            progress=progress))
+                            progress=progress, policy=policy,
+                            run_id=run_id))
     res = AblationResult([w.name for w in wls],
                          {v: [] for v in labels})
     for _ in wls:
@@ -579,7 +600,8 @@ def replacement_study(workloads=None, config: SystemConfig | None = None,
                       tier: str = DEFAULT_TIER,
                       length: int = DEFAULT_TRACE_LEN, jobs: int = 1,
                       use_cache: bool = True,
-                      progress=None) -> PolicyStudyResult:
+                      progress=None, policy=None,
+                      run_id=None) -> PolicyStudyResult:
     """§VI *Replacement Policies*: sophisticated LLC replacement
     (DRRIP, SHiP) barely helps graph workloads, while transpose-driven
     T-OPT does — cache bypassing beats smarter retention."""
@@ -587,28 +609,28 @@ def replacement_study(workloads=None, config: SystemConfig | None = None,
     wls = _workload_list(workloads)
     sweep = [p for p in policies if p != "lru"]
     grid = [Job(wl, "baseline", cfg, tier, length) for wl in wls]
-    for policy in sweep:
-        if policy == "topt":
+    for repl in sweep:
+        if repl == "topt":
             grid.extend(Job(wl, "topt", cfg, tier, length) for wl in wls)
         else:
             cfg_i = dataclasses.replace(
-                cfg, llc=dataclasses.replace(cfg.llc, replacement=policy))
+                cfg, llc=dataclasses.replace(cfg.llc, replacement=repl))
             grid.extend(Job(wl, "baseline", cfg_i, tier, length)
                         for wl in wls)
     results = run_grid(grid, jobs=jobs, use_cache=use_cache,
-                       progress=progress)
+                       progress=progress, policy=policy, run_id=run_id)
     n = len(wls)
     bases = results[:n]
     chunks = {p: results[n * (i + 1):n * (i + 2)]
               for i, p in enumerate(sweep)}
     res = PolicyStudyResult(list(policies), [])
-    for policy in policies:
-        if policy == "lru":
+    for repl in policies:
+        if repl == "lru":
             res.speedup_geomean.append(0.0)
             continue
         res.speedup_geomean.append(
             geomean([speedup(b, s)
-                     for b, s in zip(bases, chunks[policy])]))
+                     for b, s in zip(bases, chunks[repl])]))
     return res
 
 
@@ -626,8 +648,8 @@ def prefetcher_study(workloads=None, config: SystemConfig | None = None,
                      prefetchers=PREFETCHER_CONFIGS,
                      tier: str = DEFAULT_TIER,
                      length: int = DEFAULT_TRACE_LEN, jobs: int = 1,
-                     use_cache: bool = True, progress=None
-                     ) -> PrefetcherStudyResult:
+                     use_cache: bool = True, progress=None,
+                     policy=None, run_id=None) -> PrefetcherStudyResult:
     """§VI *Hardware Prefetching*: stride-class prefetchers cannot cover
     indirect graph accesses; and the paper's stated future work — SDC+LP
     *combined* with prefetching — implemented here by swapping the
@@ -643,7 +665,7 @@ def prefetcher_study(workloads=None, config: SystemConfig | None = None,
                     for wl in wls)
         grid.extend(Job(wl, "sdc_lp", cfg_i, tier, length) for wl in wls)
     results = run_grid(grid, jobs=jobs, use_cache=use_cache,
-                       progress=progress)
+                       progress=progress, policy=policy, run_id=run_id)
     n = len(wls)
     base_none = results[:n]
     res = PrefetcherStudyResult(list(prefetchers), [], [])

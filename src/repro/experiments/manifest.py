@@ -1,0 +1,198 @@
+"""Per-sweep run manifests: the checkpoint/resume state of ``run_grid``.
+
+Every grid execution writes a small JSON manifest to
+``<REPRO_CACHE_DIR>/runs/<run_id>.json`` recording, per unique cell
+(content-addressed cache key): its label, status, attempt count, last
+error, wall seconds and result source.  The manifest is updated with an
+atomic write on every state change, so at any instant — including the
+instant a sweep is OOM-killed or ^C'd — the file on disk is a valid
+snapshot of exactly which cells completed.
+
+Resuming (``run_grid(run_id=...)`` / ``repro <fig> --resume <run_id>``)
+re-opens the manifest: completed cells are satisfied from the results
+cache (zero redundant simulation) and only the interrupted/failed
+remainder executes.  See docs/RESILIENCE.md for the format and
+workflow.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+import uuid
+from pathlib import Path
+
+from repro.experiments.workloads import cache_dir
+
+MANIFEST_VERSION = 1
+
+#: Newest manifests kept per runs/ directory; older ones are pruned at
+#: creation time so unattended sweeps don't grow the cache unboundedly.
+MAX_MANIFESTS = 200
+
+#: Cell statuses a resumed run does not need to re-execute.
+_SETTLED = ("done",)
+
+
+def new_run_id() -> str:
+    return (time.strftime("%Y%m%d-%H%M%S") + "-"
+            + uuid.uuid4().hex[:6])
+
+
+def runs_dir() -> Path:
+    return cache_dir() / "runs"
+
+
+class RunManifest:
+    """Mutable per-run state with atomic on-disk persistence."""
+
+    def __init__(self, run_id: str, path: Path, data: dict | None = None):
+        self.run_id = run_id
+        self.path = path
+        self.data = data if data is not None else {
+            "version": MANIFEST_VERSION,
+            "run_id": run_id,
+            "created": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "status": "running",
+            "total_cells": 0,
+            "resumes": 0,
+            "cells": {},
+        }
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def _path_for(cls, run_id: str, directory: Path | None) -> Path:
+        return (directory or runs_dir()) / f"{run_id}.json"
+
+    @classmethod
+    def load(cls, run_id: str,
+             directory: Path | None = None) -> "RunManifest":
+        path = cls._path_for(run_id, directory)
+        with open(path, encoding="utf-8") as fh:
+            data = json.load(fh)
+        if data.get("version") != MANIFEST_VERSION:
+            raise ValueError(f"manifest {path} has unsupported version "
+                             f"{data.get('version')!r}")
+        return cls(run_id, path, data)
+
+    @classmethod
+    def open(cls, run_id: str | None = None,
+             directory: Path | None = None) -> "RunManifest":
+        """Resume the manifest for ``run_id`` if one exists on disk,
+        else start a fresh one (generating an id when none is given)."""
+        if run_id is not None:
+            try:
+                m = cls.load(run_id, directory)
+            except FileNotFoundError:
+                m = cls(run_id, cls._path_for(run_id, directory))
+            else:
+                m.data["resumes"] = m.data.get("resumes", 0) + 1
+                m.data["status"] = "running"
+            return m
+        run_id = new_run_id()
+        cls._prune(directory)
+        return cls(run_id, cls._path_for(run_id, directory))
+
+    @classmethod
+    def _prune(cls, directory: Path | None) -> None:
+        d = directory or runs_dir()
+        if not d.is_dir():
+            return
+        manifests = sorted(d.glob("*.json"),
+                           key=lambda p: p.stat().st_mtime)
+        for p in manifests[:max(0, len(manifests) - (MAX_MANIFESTS - 1))]:
+            p.unlink(missing_ok=True)
+
+    # -- cell state --------------------------------------------------------
+
+    @property
+    def cells(self) -> dict:
+        return self.data["cells"]
+
+    def settled_keys(self) -> set[str]:
+        """Keys a resumed run can treat as complete."""
+        return {k for k, c in self.cells.items()
+                if c["status"] in _SETTLED}
+
+    def register(self, key: str, label: str, status: str = "pending",
+                 source: str | None = None, fanout: int = 1) -> None:
+        """Record one unique cell with its current-run initial state.
+
+        ``fanout`` counts how many grid cells dedup onto this key.
+        Re-registering (a resume) resets transient state but keeps the
+        cumulative attempt counter.
+        """
+        prior = self.cells.get(key, {})
+        self.cells[key] = {
+            "label": label,
+            "status": status,
+            "attempts": prior.get("attempts", 0),
+            "error": None,
+            "seconds": prior.get("seconds"),
+            "source": source,
+            "fanout": fanout,
+        }
+
+    def mark(self, key: str, status: str, attempts: int | None = None,
+             error: str | None = None, seconds: float | None = None,
+             source: str | None = None, save: bool = True) -> None:
+        cell = self.cells[key]
+        cell["status"] = status
+        if attempts is not None:
+            cell["attempts"] = attempts
+        cell["error"] = error
+        if seconds is not None:
+            cell["seconds"] = round(seconds, 3)
+        if source is not None:
+            cell["source"] = source
+        if save:
+            self.save()
+
+    def finalize(self, status: str) -> None:
+        """Close out the run: demote in-flight cells to pending (they
+        never completed) and persist the final status."""
+        for cell in self.cells.values():
+            if cell["status"] in ("running", "retrying"):
+                cell["status"] = "pending"
+        self.data["status"] = status
+        self.save()
+
+    # -- reporting ---------------------------------------------------------
+
+    def counts(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for cell in self.cells.values():
+            out[cell["status"]] = out.get(cell["status"], 0) + 1
+        return out
+
+    def failed_cells(self) -> dict[str, str]:
+        """label -> error for permanently failed cells."""
+        return {c["label"]: c["error"] or "unknown error"
+                for c in self.cells.values() if c["status"] == "failed"}
+
+    def summary(self) -> str:
+        counts = self.counts()
+        total = len(self.cells)
+        done = counts.get("done", 0)
+        parts = [f"{done}/{total} unique cells done"]
+        for status in ("failed", "pending", "running", "retrying"):
+            if counts.get(status):
+                parts.append(f"{counts[status]} {status}")
+        return ", ".join(parts)
+
+    # -- persistence -------------------------------------------------------
+
+    def save(self) -> None:
+        """Atomic write (temp file + rename), crash-safe at any point."""
+        self.data["total_cells"] = len(self.cells)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.path.with_name(f"{self.path.name}.tmp.{os.getpid()}")
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(self.data, fh, indent=1)
+            os.replace(tmp, self.path)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise

@@ -17,6 +17,19 @@ independent.  :func:`run_grid` is the one engine behind all of them:
   lossless ``SystemStats`` payload dict.  Serial runs round-trip
   through the same payload encoding, so ``jobs=N`` is bit-identical to
   ``jobs=1`` for every N.
+* **Fault tolerance** — each cell runs under per-cell supervision
+  governed by a :class:`RunPolicy`: bounded retries with exponential
+  backoff + deterministic jitter, a per-cell timeout with hung-worker
+  detection (the pool is rebuilt and the stranded workers terminated),
+  ``BrokenProcessPool`` recovery that requeues only unfinished cells,
+  and graceful degradation to in-process serial execution when the
+  pool breaks repeatedly.  Every grid execution checkpoints per-cell
+  state to a :class:`repro.experiments.manifest.RunManifest`, so an
+  interrupted sweep resumes via ``run_grid(run_id=...)`` with zero
+  redundant simulation; ^C raises :class:`GridInterrupted` carrying
+  the resume id instead of a bare traceback.  All failure modes are
+  reproducible in tests through :mod:`repro.faults` (see
+  docs/RESILIENCE.md).
 
 The per-cell unit of work is a :class:`Job`.  ``Job.workload`` may be a
 workload name/``Workload`` (single-core), an in-memory ``Trace``
@@ -27,15 +40,23 @@ names/``Workload``s (one per core — a multi-core mix returning a
 
 from __future__ import annotations
 
+import hashlib
+import heapq
+import math
+import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from collections import deque
+from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
+                                ProcessPoolExecutor, wait)
 from dataclasses import dataclass
 from typing import Callable
 
+from repro import faults
 from repro.config import SystemConfig
 from repro.core.multicore import MultiCoreResult, MultiCoreSystem
 from repro.core.system import SystemStats
 from repro.experiments import results_cache as rc
+from repro.experiments.manifest import RunManifest
 from repro.experiments.runner import default_config, run_variant
 from repro.experiments.workloads import (DEFAULT_TIER, DEFAULT_TRACE_LEN,
                                          Workload, workload_trace)
@@ -77,7 +98,7 @@ class Progress:
     total: int                  # cells in the grid
     label: str                  # job label, e.g. "pr.kron/sdc_lp"
     seconds: float              # wall time of this cell
-    source: str                 # "run" | "cache" | "dedup"
+    source: str                 # "run" | "cache" | "dedup" | "failed"
 
 
 ProgressFn = Callable[[Progress], None]
@@ -88,6 +109,60 @@ def print_progress(p: Progress) -> None:
     note = "" if p.source == "run" else f"  [{p.source}]"
     print(f"  [{p.done}/{p.total}] {p.label}  {p.seconds:.1f}s{note}",
           flush=True)
+
+
+@dataclass(frozen=True)
+class RunPolicy:
+    """Failure-handling policy for one grid execution.
+
+    ``timeout`` is per-cell wall seconds and only enforced for
+    parallel runs (a single process cannot preempt itself);
+    ``retries`` bounds *additional* attempts after the first, so a
+    cell executes at most ``1 + retries`` times.  Backoff before the
+    n-th retry is ``min(backoff_max, backoff * 2**(n-1))`` scaled by a
+    deterministic jitter in ``[1, 1 + jitter)`` keyed on the cell, so
+    retry schedules are reproducible.  After ``max_pool_rebuilds``
+    pool failures the engine degrades to in-process serial execution.
+    ``fail_fast`` aborts the grid on the first permanent cell failure;
+    ``allow_partial`` returns ``None`` for permanently failed cells
+    instead of raising :class:`GridError` at the end.
+    """
+
+    timeout: float | None = None
+    retries: int = 2
+    backoff: float = 0.25
+    backoff_max: float = 30.0
+    jitter: float = 0.5
+    max_pool_rebuilds: int = 3
+    fail_fast: bool = False
+    allow_partial: bool = False
+
+
+DEFAULT_POLICY = RunPolicy()
+
+
+class GridError(RuntimeError):
+    """One or more cells failed permanently (retries exhausted)."""
+
+    def __init__(self, message: str, failures: dict[str, str],
+                 run_id: str | None = None):
+        super().__init__(message)
+        self.failures = failures        # label -> error
+        self.run_id = run_id
+
+
+class GridInterrupted(KeyboardInterrupt):
+    """^C during a sweep; the manifest holds a clean partial snapshot.
+
+    Subclasses ``KeyboardInterrupt`` so intermediate ``except
+    Exception`` handlers cannot swallow it; carries the ``run_id`` to
+    resume from and a human-readable ``summary``.
+    """
+
+    def __init__(self, run_id: str, summary: str):
+        super().__init__(run_id)
+        self.run_id = run_id
+        self.summary = summary
 
 
 def _workload_name(wl) -> str:
@@ -131,17 +206,26 @@ def _job_spec(job: Job) -> tuple[dict, str]:
 
 # -- worker side (also used by the in-process serial path) -----------------
 
-_worker_traces: dict = {}       # per-process trace cache
+#: Per-process cache of loaded workload traces.  Bounded: a long
+#: heterogeneous grid cycles through many (workload, tier, length)
+#: specs, and an unbounded dict would grow worker RSS by one full trace
+#: per spec for the lifetime of the pool.
+_WORKER_TRACE_CAP = 4
+
+_worker_traces: dict = {}       # (name, tier, length) -> Trace, LRU order
 
 
 def _resolve_trace(ref) -> Trace:
     if ref[0] == "obj":
         return ref[1]
     _, name, tier, length = ref
-    trace = _worker_traces.get((name, tier, length))
+    key = (name, tier, length)
+    trace = _worker_traces.pop(key, None)   # pop+reinsert refreshes LRU
     if trace is None:
         trace = workload_trace(name, tier=tier, length=length)
-        _worker_traces[(name, tier, length)] = trace
+    _worker_traces[key] = trace
+    while len(_worker_traces) > _WORKER_TRACE_CAP:
+        _worker_traces.pop(next(iter(_worker_traces)))
     return trace
 
 
@@ -173,6 +257,18 @@ def _execute(spec: dict) -> dict:
     return stats.to_payload()
 
 
+def _execute_cell(spec: dict, key: str, attempt: int = 1) -> dict:
+    """Supervised cell entry point: fault-injection hook, then run.
+
+    ``key`` (the cell's content-addressed cache key) is the injection
+    site, so a fault plan makes identical decisions in serial and
+    parallel runs and across resumes.  Looks ``_execute`` up through
+    the module so tests may monkeypatch it.
+    """
+    faults.inject_execution(key, attempt)
+    return _execute(spec)
+
+
 def _materialize(payload: dict):
     if payload.get("multi"):
         return MultiCoreResult(
@@ -187,16 +283,26 @@ def _materialize(payload: dict):
 
 def run_grid(grid: list[Job], jobs: int = 1, use_cache: bool = True,
              cache: rc.ResultsCache | None = None,
-             progress: ProgressFn | None = None) -> list:
+             progress: ProgressFn | None = None,
+             policy: RunPolicy | None = None,
+             run_id: str | None = None,
+             manifest_dir=None) -> list:
     """Execute a grid of jobs; returns results aligned with ``grid``.
 
     ``jobs`` is the worker-process count (``<= 1`` runs in-process);
     ``use_cache=False`` bypasses the persistent result cache entirely
     (no reads, no writes) but still deduplicates within the grid.
-    Results are ``SystemStats`` for single-core jobs and
-    ``MultiCoreResult`` for mix jobs, always reconstructed from the
-    payload encoding so parallel and serial runs are bit-identical.
+    ``policy`` configures retries/timeout/failure handling (defaults to
+    :data:`DEFAULT_POLICY`); ``run_id`` names the checkpoint manifest —
+    pass the id of an interrupted run to resume it, re-simulating only
+    cells the manifest + cache do not already settle.  Results are
+    ``SystemStats`` for single-core jobs and ``MultiCoreResult`` for
+    mix jobs, always reconstructed from the payload encoding so
+    parallel and serial runs are bit-identical; permanently failed
+    cells are ``None`` when ``policy.allow_partial``, otherwise the
+    grid raises :class:`GridError` after every other cell finished.
     """
+    policy = policy or DEFAULT_POLICY
     total = len(grid)
     if cache is None and use_cache:
         cache = rc.ResultsCache()
@@ -204,6 +310,7 @@ def run_grid(grid: list[Job], jobs: int = 1, use_cache: bool = True,
     keys: list[str] = []                    # per-cell key, grid order
     cell_sources: list[str] = []            # per-cell "run"/"cache"/"dedup"
     pending: dict[str, dict] = {}           # key -> spec (first wins)
+    owners: dict[str, str] = {}             # key -> owning cell's label
     done = 0
 
     for job in grid:
@@ -219,7 +326,20 @@ def run_grid(grid: list[Job], jobs: int = 1, use_cache: bool = True,
                 cell_sources.append("cache")
                 continue
         pending[key] = spec
+        owners[key] = job.label         # each cell registers its own label
         cell_sources.append("run")
+
+    manifest = RunManifest.open(run_id, manifest_dir)
+    fanout: dict[str, int] = {}
+    for key in keys:
+        fanout[key] = fanout.get(key, 0) + 1
+    for job, key, source in zip(grid, keys, cell_sources):
+        if source == "run":
+            manifest.register(key, job.label, fanout=fanout[key])
+        elif source == "cache":
+            manifest.register(key, job.label, status="done",
+                              source="cache", fanout=fanout[key])
+    manifest.save()
 
     def report(label: str, seconds: float, source: str) -> None:
         nonlocal done
@@ -227,25 +347,29 @@ def run_grid(grid: list[Job], jobs: int = 1, use_cache: bool = True,
         if progress is not None:
             progress(Progress(done, total, label, seconds, source))
 
-    labels = {}
-    for job, key in zip(grid, keys):
-        labels.setdefault(key, job.label)
-
     def store(key: str) -> None:
         # Store each cell as soon as it finishes, so an interrupted
         # sweep keeps every completed simulation.
         if use_cache:
             cache.put(key, payloads[key])
 
-    if pending:
-        if jobs > 1 and len(pending) > 1:
-            _run_parallel(pending, payloads, jobs, report, labels, store)
-        else:
-            for key, spec in pending.items():
-                t0 = time.perf_counter()
-                payloads[key] = _execute(spec)
-                store(key)
-                report(labels[key], time.perf_counter() - t0, "run")
+    failures: dict[str, str] = {}           # key -> error (permanent)
+
+    try:
+        if pending:
+            if jobs > 1 and len(pending) > 1:
+                _run_parallel(pending, payloads, jobs, report, owners,
+                              store, policy, manifest, failures)
+            else:
+                _run_serial(list(pending), pending, payloads, report,
+                            owners, store, policy, manifest, failures)
+    except GridError:
+        manifest.finalize("failed")
+        raise
+    except KeyboardInterrupt:
+        manifest.finalize("interrupted")
+        raise GridInterrupted(manifest.run_id, manifest.summary()) \
+            from None
 
     # Report cache hits and dedup'd cells after the real work so the
     # done/total counter stays monotonic.
@@ -253,25 +377,250 @@ def run_grid(grid: list[Job], jobs: int = 1, use_cache: bool = True,
         if source != "run":
             report(job.label, 0.0, source)
 
-    return [_materialize(payloads[key]) for key in keys]
+    if failures:
+        manifest.finalize("failed")
+        if not policy.allow_partial:
+            raise GridError(
+                f"{len(failures)} of {len(pending)} simulated cell(s) "
+                f"failed permanently after {policy.retries} retr"
+                f"{'y' if policy.retries == 1 else 'ies'} "
+                f"(run {manifest.run_id})",
+                failures={owners[k]: err for k, err in failures.items()},
+                run_id=manifest.run_id)
+    else:
+        manifest.finalize("complete")
+    return [_materialize(payloads[key]) if key in payloads else None
+            for key in keys]
 
 
-def _run_parallel(pending: dict, payloads: dict, jobs: int,
-                  report, labels: dict, store) -> None:
-    max_workers = min(jobs, len(pending))
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        futures = {}
-        started = {}
-        for key, spec in pending.items():
-            started[key] = time.perf_counter()
-            futures[pool.submit(_execute, spec)] = key
-        outstanding = set(futures)
-        while outstanding:
-            finished, outstanding = wait(outstanding,
-                                         return_when=FIRST_COMPLETED)
-            for fut in finished:
-                key = futures[fut]
-                payloads[key] = fut.result()
+def _errstr(exc: BaseException) -> str:
+    return f"{type(exc).__name__}: {exc}"
+
+
+def _backoff_delay(policy: RunPolicy, key: str, attempt: int) -> float:
+    """Exponential backoff with deterministic per-(cell, attempt) jitter."""
+    base = min(policy.backoff_max, policy.backoff * 2.0 ** (attempt - 1))
+    h = hashlib.sha256(f"backoff|{key}|{attempt}".encode()).digest()
+    unit = int.from_bytes(h[:8], "big") / 2.0 ** 64
+    return base * (1.0 + policy.jitter * unit)
+
+
+def _run_serial(order: list[str], pending: dict, payloads: dict, report,
+                owners: dict, store, policy: RunPolicy,
+                manifest: RunManifest, failures: dict,
+                attempts: dict | None = None) -> None:
+    """In-process executor with the same retry semantics as the pool
+    path (also the degradation target when the pool keeps breaking)."""
+    if attempts is None:
+        attempts = dict.fromkeys(order, 0)
+    for key in order:
+        t0 = time.perf_counter()
+        while True:
+            attempts[key] += 1
+            manifest.mark(key, "running", attempts=attempts[key])
+            try:
+                payload = _execute_cell(pending[key], key, attempts[key])
+            except Exception as exc:
+                err = _errstr(exc)
+                if policy.fail_fast or attempts[key] > policy.retries:
+                    failures[key] = err
+                    manifest.mark(key, "failed", attempts=attempts[key],
+                                  error=err)
+                    report(owners[key], time.perf_counter() - t0,
+                           "failed")
+                    if policy.fail_fast:
+                        raise GridError(
+                            f"cell {owners[key]} failed "
+                            f"(--fail-fast): {err}",
+                            failures={owners[key]: err},
+                            run_id=manifest.run_id) from exc
+                    break
+                manifest.mark(key, "retrying", attempts=attempts[key],
+                              error=err)
+                time.sleep(_backoff_delay(policy, key, attempts[key]))
+            else:
+                payloads[key] = payload
                 store(key)
-                report(labels[key], time.perf_counter() - started[key],
-                       "run")
+                seconds = time.perf_counter() - t0
+                manifest.mark(key, "done", attempts=attempts[key],
+                              seconds=seconds, source="run")
+                report(owners[key], seconds, "run")
+                break
+
+
+def _new_pool(max_workers: int) -> ProcessPoolExecutor:
+    """Worker pool whose processes know the active fault plan (passed
+    explicitly so any multiprocessing start method behaves alike)."""
+    return ProcessPoolExecutor(max_workers=max_workers,
+                               initializer=faults.worker_init,
+                               initargs=(faults.active_plan(),))
+
+
+def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting on hung workers.
+
+    ``shutdown(wait=False)`` alone would leave a hung worker sleeping
+    (and block interpreter exit on its join), so the worker processes
+    are terminated outright — safe because results are only consumed
+    from completed futures and cache writes are atomic.
+    """
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+    for proc in list((getattr(pool, "_processes", None) or {}).values()):
+        try:
+            proc.terminate()
+        except Exception:
+            pass
+
+
+def _run_parallel(pending: dict, payloads: dict, jobs: int, report,
+                  owners: dict, store, policy: RunPolicy,
+                  manifest: RunManifest, failures: dict) -> None:
+    """Supervised pool executor: per-cell timeout, retry with backoff,
+    broken-pool recovery, and serial degradation."""
+    max_workers = min(jobs, len(pending))
+    ready: deque = deque(pending)
+    delayed: list = []                  # (due, seq, key) heap
+    attempts = dict.fromkeys(pending, 0)
+    t_first: dict[str, float] = {}      # key -> first-submit wall clock
+    inflight: dict = {}                 # future -> key
+    deadlines: dict[str, float] = {}    # key -> monotonic deadline
+    rebuilds = 0
+    seq = 0
+    pool = _new_pool(max_workers)
+
+    def fail_or_retry(key: str, err: str) -> None:
+        nonlocal seq
+        if not policy.fail_fast and attempts[key] <= policy.retries:
+            manifest.mark(key, "retrying", attempts=attempts[key],
+                          error=err)
+            seq += 1
+            heapq.heappush(delayed,
+                           (time.monotonic()
+                            + _backoff_delay(policy, key, attempts[key]),
+                            seq, key))
+            return
+        failures[key] = err
+        manifest.mark(key, "failed", attempts=attempts[key], error=err)
+        report(owners[key],
+               time.monotonic() - t_first.get(key, time.monotonic()),
+               "failed")
+        if policy.fail_fast:
+            raise GridError(f"cell {owners[key]} failed "
+                            f"(--fail-fast): {err}",
+                            failures={owners[key]: err},
+                            run_id=manifest.run_id)
+
+    def settle(fut, key) -> bool:
+        """Consume one completed future; True when it broke the pool."""
+        try:
+            payload = fut.result()
+        except BrokenExecutor:
+            # The pool died under this cell (or an innocent
+            # neighbour); which worker crashed is unknowable, so
+            # every completed-broken cell spends one attempt.
+            fail_or_retry(key, "worker crashed (process pool broken)")
+            return True
+        except Exception as exc:
+            fail_or_retry(key, _errstr(exc))
+        else:
+            payloads[key] = payload
+            store(key)
+            seconds = time.monotonic() - t_first[key]
+            manifest.mark(key, "done", attempts=attempts[key],
+                          seconds=seconds, source="run")
+            report(owners[key], seconds, "run")
+        return False
+
+    try:
+        while ready or delayed or inflight:
+            now = time.monotonic()
+            while delayed and delayed[0][0] <= now:
+                ready.append(heapq.heappop(delayed)[2])
+            broken = False
+            # Submit at most max_workers cells so everything in flight
+            # is actually running — a queued cell must not "time out".
+            while ready and len(inflight) < max_workers:
+                key = ready.popleft()
+                attempts[key] += 1
+                t_first.setdefault(key, time.monotonic())
+                manifest.mark(key, "running", attempts=attempts[key])
+                try:
+                    fut = pool.submit(_execute_cell, pending[key], key,
+                                      attempts[key])
+                except BrokenExecutor:
+                    # A worker died between submits; requeue this cell
+                    # untouched and go handle the break.
+                    attempts[key] -= 1
+                    ready.appendleft(key)
+                    broken = True
+                    break
+                inflight[fut] = key
+                deadlines[key] = (time.monotonic() + policy.timeout
+                                  if policy.timeout else math.inf)
+            if not broken:
+                if not inflight:
+                    if delayed:     # everything is backing off
+                        time.sleep(max(0.0, delayed[0][0]
+                                       - time.monotonic()))
+                    continue
+                bound = min(deadlines[k] for k in inflight.values())
+                if delayed:
+                    bound = min(bound, delayed[0][0])
+                wait_t = (None if bound == math.inf
+                          else max(0.01, bound - time.monotonic()))
+                finished, _ = wait(set(inflight), timeout=wait_t,
+                                   return_when=FIRST_COMPLETED)
+                for fut in finished:
+                    broken |= settle(fut, inflight.pop(fut))
+                # Hung-worker detection: a running cell past its
+                # deadline cannot be cancelled, so abandon its future
+                # and rebuild the pool (terminating stranded workers).
+                now = time.monotonic()
+                overdue = [fut for fut, key in inflight.items()
+                           if deadlines[key] <= now]
+                if overdue:
+                    broken = True
+                    for fut in overdue:
+                        key = inflight.pop(fut)
+                        fail_or_retry(key, "timeout: no result after "
+                                           f"{policy.timeout:.1f}s "
+                                           "(worker hung or overloaded)")
+            if broken:
+                rebuilds += 1
+                # Futures that completed while the pool collapsed get
+                # settled normally; the rest are abandoned with their
+                # attempt refunded, so the fault schedule replays
+                # exactly on the rebuilt pool.
+                for fut, key in list(inflight.items()):
+                    if fut.done():
+                        settle(fut, key)
+                    else:
+                        attempts[key] -= 1
+                        manifest.mark(key, "pending",
+                                      attempts=attempts[key],
+                                      save=False)
+                        ready.append(key)
+                manifest.save()
+                inflight.clear()
+                _shutdown_pool(pool)
+                if rebuilds > policy.max_pool_rebuilds:
+                    print(f"  [engine] process pool failed {rebuilds} "
+                          "times; degrading to in-process serial "
+                          "execution", file=sys.stderr, flush=True)
+                    remaining = list(ready) + [k for _, _, k in
+                                               sorted(delayed)]
+                    ready.clear()
+                    delayed.clear()
+                    _run_serial(remaining, pending, payloads, report,
+                                owners, store, policy, manifest,
+                                failures, attempts=attempts)
+                    return
+                print(f"  [engine] rebuilding process pool "
+                      f"(failure {rebuilds}/{policy.max_pool_rebuilds})",
+                      file=sys.stderr, flush=True)
+                pool = _new_pool(max_workers)
+    finally:
+        _shutdown_pool(pool)

@@ -18,6 +18,16 @@ Entries live under ``REPRO_CACHE_DIR`` (default ``.repro_cache/``) in
 rename), so concurrent ``run_grid`` workers can share one cache
 directory safely.  Set the ``REPRO_CACHE_DIR`` environment variable to
 relocate the whole cache (traces and results) — see docs/PERFORMANCE.md.
+
+Entries are stored inside a checksummed **envelope**
+(``{"v": 1, "sha": <sha256 of canonical payload JSON>, "payload": …}``)
+and validated on every read.  A file that fails to parse, does not
+match the envelope schema, or fails its checksum is **quarantined** —
+moved to ``results/quarantine/<name>.bad`` and counted in ``corrupt``
+(absent entries count in ``misses``) — so one flipped bit costs one
+recompute instead of poisoning a figure or re-missing forever.
+Construction also sweeps stale ``*.tmp.<pid>`` droppings left by
+writers that crashed mid-``put``.  See docs/RESILIENCE.md.
 """
 
 from __future__ import annotations
@@ -26,8 +36,10 @@ import hashlib
 import json
 import os
 import shutil
+import time
 from pathlib import Path
 
+from repro import faults
 from repro.experiments.workloads import TRACE_FORMAT_VERSION, cache_dir
 
 # Sources whose content defines the simulation model.  A change to any
@@ -36,6 +48,12 @@ from repro.experiments.workloads import TRACE_FORMAT_VERSION, cache_dir
 _REPRO_ROOT = Path(__file__).resolve().parents[1]
 _FINGERPRINT_SOURCES = ("config.py", "mem", "core", "trace", "graphs",
                         "kernels")
+
+ENVELOPE_VERSION = 1
+
+#: A ``*.tmp.<pid>`` file older than this is presumed orphaned by a
+#: crashed writer (live writers hold theirs for milliseconds).
+STALE_TMP_AGE_SECONDS = 3600.0
 
 _code_fingerprint: str | None = None
 
@@ -88,53 +106,160 @@ def result_key(trace_fp: str, variant: str, config_digest: str,
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-class ResultsCache:
-    """On-disk result store with hit/miss accounting."""
+def payload_checksum(payload: dict) -> str:
+    """sha256 over the canonical JSON form of a payload."""
+    canon = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
 
-    def __init__(self, root: str | os.PathLike | None = None):
+
+class ResultsCache:
+    """On-disk result store with hit/miss/corruption accounting.
+
+    Counters: ``hits`` (valid entry served), ``misses`` (entry absent),
+    ``corrupt`` (entry present but unreadable — quarantined, served as
+    a miss), ``stores`` (entries written), ``quarantined`` (files moved
+    to ``quarantine/``), ``swept`` (stale temp files removed at
+    construction).
+    """
+
+    def __init__(self, root: str | os.PathLike | None = None,
+                 sweep_stale: bool = True,
+                 stale_tmp_age: float = STALE_TMP_AGE_SECONDS):
         self.root = Path(root) if root is not None \
             else cache_dir() / "results"
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
+        self.quarantined = 0
+        self.swept = 0
+        self._write_seq: dict[str, int] = {}
+        if sweep_stale:
+            self.swept = self.sweep_stale_tmp(stale_tmp_age)
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.json"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    def _tmp_files(self):
+        """Stray ``<key>.json.tmp.<pid>`` files from in-flight or
+        crashed writers."""
+        if not self.root.is_dir():
+            return
+        yield from self.root.glob("[0-9a-f][0-9a-f]/*.json.tmp.*")
+
+    def sweep_stale_tmp(self,
+                        max_age: float = STALE_TMP_AGE_SECONDS) -> int:
+        """Remove temp files older than ``max_age`` seconds; returns
+        the number removed.  Young temp files belong to live writers
+        and are left alone."""
+        removed = 0
+        now = time.time()
+        for tmp in list(self._tmp_files()):
+            try:
+                if now - tmp.stat().st_mtime >= max_age:
+                    tmp.unlink()
+                    removed += 1
+            except OSError:
+                pass        # raced with the writer's own rename/cleanup
+        return removed
+
+    def _quarantine(self, path: Path) -> None:
+        """Move an unreadable entry aside (``.bad`` suffix keeps it out
+        of entry globs) so it is recomputed once, not re-missed forever."""
+        try:
+            qdir = self.quarantine_dir
+            qdir.mkdir(parents=True, exist_ok=True)
+            dest = qdir / (path.name + ".bad")
+            if dest.exists():
+                dest = qdir / f"{path.name}.{os.getpid()}.bad"
+            shutil.move(str(path), str(dest))
+        except OSError:
+            # Fall back to deleting: never leave a poisoned entry live.
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                return
+        self.quarantined += 1
+
     def get(self, key: str) -> dict | None:
-        """Load a cached payload; None (and a miss) when absent."""
+        """Load a cached payload.
+
+        Returns ``None`` both when the entry is absent (counted in
+        ``misses``) and when it is present but unreadable — bad JSON,
+        wrong envelope schema, checksum mismatch — in which case it is
+        quarantined and counted in ``corrupt`` instead.
+        """
         path = self._path(key)
         try:
             with open(path, encoding="utf-8") as fh:
-                payload = json.load(fh)
-        except (OSError, ValueError):
+                entry = json.load(fh)
+        except FileNotFoundError:
             self.misses += 1
+            return None
+        except (OSError, ValueError):
+            self.corrupt += 1
+            self._quarantine(path)
+            return None
+        payload = self._validate(entry)
+        if payload is None:
+            self.corrupt += 1
+            self._quarantine(path)
             return None
         self.hits += 1
         return payload
 
+    @staticmethod
+    def _validate(entry) -> dict | None:
+        """Envelope schema + checksum validation; None when invalid."""
+        if (not isinstance(entry, dict)
+                or entry.get("v") != ENVELOPE_VERSION
+                or not isinstance(entry.get("payload"), dict)
+                or not isinstance(entry.get("sha"), str)):
+            return None
+        payload = entry["payload"]
+        if payload_checksum(payload) != entry["sha"]:
+            return None
+        return payload
+
     def put(self, key: str, payload: dict) -> None:
-        """Store a payload atomically (temp file + rename)."""
+        """Store a payload atomically (temp file + rename) inside a
+        checksummed envelope."""
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        entry = {"v": ENVELOPE_VERSION, "sha": payload_checksum(payload),
+                 "payload": payload}
         tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
         try:
             with open(tmp, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, separators=(",", ":"))
+                json.dump(entry, fh, separators=(",", ":"))
             os.replace(tmp, path)
         except BaseException:
             tmp.unlink(missing_ok=True)
             raise
         self.stores += 1
+        if faults.active_plan() is not None:
+            seq = self._write_seq[key] = self._write_seq.get(key, 0) + 1
+            faults.mangle_cache_entry(path, key, seq)
 
     def clear(self) -> int:
-        """Delete every cached result; returns the number removed."""
+        """Delete the whole store — committed entries, stray temp files
+        and the quarantine; returns committed entries + temp files
+        removed."""
         removed = 0
         if self.root.is_dir():
             removed = sum(1 for _ in self.root.glob("*/*.json"))
+            removed += sum(1 for _ in self._tmp_files())
             shutil.rmtree(self.root)
         return removed
 
     def __len__(self) -> int:
-        return sum(1 for _ in self.root.glob("*/*.json")) \
-            if self.root.is_dir() else 0
+        """Files the store currently owns: committed entries plus stray
+        temp files (quarantined files are not counted — they are dead)."""
+        if not self.root.is_dir():
+            return 0
+        return (sum(1 for _ in self.root.glob("*/*.json"))
+                + sum(1 for _ in self._tmp_files()))

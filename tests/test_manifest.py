@@ -1,0 +1,130 @@
+"""Tests for the run-manifest checkpoint layer (manifest.py)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.experiments import manifest as mod
+from repro.experiments.manifest import (MANIFEST_VERSION, MAX_MANIFESTS,
+                                        RunManifest, new_run_id)
+
+
+@pytest.fixture
+def runs(tmp_path):
+    return tmp_path / "runs"
+
+
+def test_run_ids_are_unique():
+    assert new_run_id() != new_run_id()
+
+
+def test_round_trip(runs):
+    m = RunManifest.open("rt", runs)
+    m.register("k1", "pr.urand/baseline")
+    m.register("k2", "pr.urand/sdc_lp", status="done", source="cache")
+    m.save()
+    loaded = RunManifest.load("rt", runs)
+    assert loaded.data["status"] == "running"
+    assert loaded.cells["k1"]["status"] == "pending"
+    assert loaded.cells["k2"] == m.cells["k2"]
+    assert loaded.data["total_cells"] == 2
+
+
+def test_load_rejects_unknown_version(runs):
+    m = RunManifest.open("vx", runs)
+    m.save()
+    data = json.loads(m.path.read_text())
+    data["version"] = MANIFEST_VERSION + 1
+    m.path.write_text(json.dumps(data))
+    with pytest.raises(ValueError, match="unsupported version"):
+        RunManifest.load("vx", runs)
+
+
+def test_save_is_atomic_no_tmp_left_behind(runs):
+    m = RunManifest.open("at", runs)
+    m.register("k", "lbl")
+    for status in ("running", "done"):
+        m.mark("k", status)
+    assert not list(runs.glob("*.tmp.*"))
+    assert RunManifest.load("at", runs).cells["k"]["status"] == "done"
+
+
+def test_mark_updates_and_persists(runs):
+    m = RunManifest.open("mk", runs)
+    m.register("k", "lbl")
+    m.mark("k", "retrying", attempts=1, error="boom", seconds=0.51234)
+    cell = RunManifest.load("mk", runs).cells["k"]
+    assert cell["status"] == "retrying"
+    assert cell["attempts"] == 1
+    assert cell["error"] == "boom"
+    assert cell["seconds"] == 0.512
+    m.mark("k", "done", attempts=2, source="run")
+    cell = RunManifest.load("mk", runs).cells["k"]
+    assert cell["error"] is None          # success clears the last error
+    assert cell["source"] == "run"
+
+
+def test_open_resumes_existing_run(runs):
+    m = RunManifest.open("rs", runs)
+    m.register("k1", "a", status="done", source="run")
+    m.register("k2", "b")
+    m.mark("k2", "failed", attempts=3, error="boom")
+    m.finalize("failed")
+
+    again = RunManifest.open("rs", runs)
+    assert again.data["resumes"] == 1
+    assert again.data["status"] == "running"
+    assert again.settled_keys() == {"k1"}
+    # Re-registering the unfinished cell resets transient state but
+    # keeps the cumulative attempt counter.
+    again.register("k2", "b")
+    assert again.cells["k2"]["status"] == "pending"
+    assert again.cells["k2"]["attempts"] == 3
+    assert again.cells["k2"]["error"] is None
+
+
+def test_open_with_explicit_id_but_no_file_starts_fresh(runs):
+    m = RunManifest.open("fresh-id", runs)
+    assert m.run_id == "fresh-id"
+    assert m.data["resumes"] == 0
+    assert m.cells == {}
+
+
+def test_finalize_demotes_inflight_cells(runs):
+    m = RunManifest.open("fin", runs)
+    m.register("k1", "a", status="done", source="run")
+    m.register("k2", "b")
+    m.mark("k2", "running", save=False)
+    m.register("k3", "c")
+    m.mark("k3", "retrying", save=False)
+    m.finalize("interrupted")
+    loaded = RunManifest.load("fin", runs)
+    assert loaded.data["status"] == "interrupted"
+    assert loaded.counts() == {"done": 1, "pending": 2}
+
+
+def test_counts_failed_cells_and_summary(runs):
+    m = RunManifest.open("sm", runs)
+    m.register("k1", "a", status="done", source="cache")
+    m.register("k2", "b")
+    m.mark("k2", "failed", error="exploded", save=False)
+    m.register("k3", "c")
+    assert m.counts() == {"done": 1, "failed": 1, "pending": 1}
+    assert m.failed_cells() == {"b": "exploded"}
+    s = m.summary()
+    assert "1/3 unique cells done" in s
+    assert "1 failed" in s and "1 pending" in s
+
+
+def test_prune_caps_manifest_count(runs, monkeypatch):
+    monkeypatch.setattr(mod, "MAX_MANIFESTS", 5)
+    for i in range(8):
+        m = RunManifest.open(directory=runs)
+        m.path = runs / f"run-{i:03d}.json"   # deterministic names
+        m.save()
+    survivors = sorted(p.name for p in runs.glob("*.json"))
+    assert len(survivors) == 5
+    assert survivors[-1] == "run-007.json"
+    assert "run-000.json" not in survivors

@@ -88,19 +88,67 @@ class TestResultsCache:
         assert cache.hits == 1
         assert len(cache) == 1
 
-    def test_corrupt_entry_is_a_miss(self, cache):
+    def test_corrupt_entry_is_quarantined_not_missed(self, cache):
         key = "cd" + "1" * 62
         cache.put(key, {"x": 1})
         path = cache._path(key)
         path.write_text("{not json")
         assert cache.get(key) is None
-        assert cache.misses == 1
+        # Unreadable != absent: the corrupt counter takes it, and the
+        # poisoned file is moved aside so it is never re-read.
+        assert cache.misses == 0
+        assert cache.corrupt == 1
+        assert cache.quarantined == 1
+        assert not path.exists()
+        assert list(cache.quarantine_dir.glob("*.bad"))
+        # The entry is recomputable: a fresh put makes it a hit again.
+        cache.put(key, {"x": 1})
+        assert cache.get(key) == {"x": 1}
+
+    def test_checksum_mismatch_is_corrupt(self, cache):
+        import json
+        key = "ce" + "3" * 62
+        cache.put(key, {"x": 1.5})
+        path = cache._path(key)
+        entry = json.loads(path.read_text())
+        entry["payload"]["x"] = 2.5        # valid JSON, wrong checksum
+        path.write_text(json.dumps(entry))
+        assert cache.get(key) is None
+        assert cache.corrupt == 1 and cache.hits == 0
 
     def test_clear(self, cache):
         for i in range(3):
             cache.put(f"{i:02d}" + "2" * 62, {"i": i})
         assert cache.clear() == 3
         assert len(cache) == 0
+
+    def test_len_and_clear_account_stray_tmp_files(self, cache):
+        cache.put("ab" + "4" * 62, {"x": 1})
+        stray = cache.root / "ab" / ("cd" + "5" * 62 + ".json.tmp.999")
+        stray.write_text("half-written")
+        assert len(cache) == 2
+        assert cache.clear() == 2
+        assert len(cache) == 0
+
+    def test_stale_tmp_sweep(self, cache):
+        import os
+        cache.put("ab" + "6" * 62, {"x": 1})
+        stray = cache.root / "ab" / ("ef" + "7" * 62 + ".json.tmp.1")
+        stray.write_text("orphan")
+        old = 10_000.0
+        os.utime(stray, (old, old))
+        fresh = rc.ResultsCache(cache.root)    # sweeps at construction
+        assert fresh.swept == 1
+        assert not stray.exists()
+        assert len(fresh) == 1                 # committed entry survives
+
+    def test_young_tmp_files_survive_sweep(self, cache):
+        stray = cache.root / "ab" / ("aa" + "8" * 62 + ".json.tmp.2")
+        stray.parent.mkdir(parents=True, exist_ok=True)
+        stray.write_text("live writer")
+        fresh = rc.ResultsCache(cache.root)
+        assert fresh.swept == 0
+        assert stray.exists()
 
 
 class TestRunGrid:
@@ -208,3 +256,33 @@ class TestWarmFigureRerun:
         serial = figures.fig2_mpki(wls, use_cache=False, **MICRO)
         par = figures.fig2_mpki(wls, jobs=2, use_cache=False, **MICRO)
         assert serial == par
+
+
+class TestWorkerTraceLRU:
+    def test_trace_cache_is_bounded(self, monkeypatch):
+        monkeypatch.setattr(parallel, "_worker_traces", {})
+        monkeypatch.setattr(parallel, "workload_trace",
+                            lambda name, tier, length: object())
+        cap = parallel._WORKER_TRACE_CAP
+        for i in range(3 * cap):
+            parallel._resolve_trace(("spec", f"wl{i}", "tiny", 1000))
+        assert len(parallel._worker_traces) == cap
+        # Most recently used specs are the ones retained.
+        kept = {name for name, _, _ in parallel._worker_traces}
+        assert kept == {f"wl{i}" for i in range(2 * cap, 3 * cap)}
+
+    def test_lru_refresh_on_reuse(self, monkeypatch):
+        monkeypatch.setattr(parallel, "_worker_traces", {})
+        loads = []
+        monkeypatch.setattr(parallel, "workload_trace",
+                            lambda name, tier, length:
+                            loads.append(name) or object())
+        cap = parallel._WORKER_TRACE_CAP
+        for i in range(cap):
+            parallel._resolve_trace(("spec", f"wl{i}", "tiny", 1000))
+        # Touch wl0, then add one more spec: wl1 (now oldest) evicts.
+        parallel._resolve_trace(("spec", "wl0", "tiny", 1000))
+        parallel._resolve_trace(("spec", "new", "tiny", 1000))
+        assert loads.count("wl0") == 1
+        kept = {name for name, _, _ in parallel._worker_traces}
+        assert "wl0" in kept and "wl1" not in kept
