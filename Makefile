@@ -6,10 +6,17 @@ PY := PYTHONPATH=src python
 # Fault set for check-faults: all, exc, crash, hang or corrupt.
 FAULT_SET ?= all
 
-.PHONY: test check check-faults bench bench-engine
+# Workload/variant for the timeline target.
+WL ?= bfs-twitter
+VARIANT ?= sdc_lp
+
+.PHONY: test check check-faults bench bench-engine timeline
 
 test:                 ## tier-1 test suite
 	$(PY) -m pytest -q
+
+timeline:             ## ASCII per-window cache timeline (WL=, VARIANT=)
+	$(PY) -m repro timeline $(WL) $(VARIANT)
 
 check:                ## quick workload subset with invariant checking on
 	REPRO_VALIDATE=1 $(PY) -m repro fig7 --quick --length 50000 --no-cache

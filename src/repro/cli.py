@@ -7,12 +7,16 @@ Examples::
     repro fig7 --quick           # speedups on the 6-workload subset
     repro fig14 --mixes 10       # multi-core weighted speedup
     repro table4                 # hardware budget
+    repro timeline pr.kron sdc_lp    # windowed-metric ASCII timeline
+    repro fig7 --quick --telemetry out/   # sweep with JSONL event log
+    repro trace-export latest --telemetry out/  # Perfetto trace JSON
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 
 from repro.experiments import figures, report
 from repro.experiments.workloads import DEFAULT_TRACE_LEN, WORKLOADS
@@ -52,6 +56,12 @@ def _common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--fail-fast", action="store_true",
                         help="abort the whole grid on the first "
                              "permanent cell failure")
+    parser.add_argument("--telemetry", nargs="?", const="", default=None,
+                        metavar="DIR",
+                        help="record windowed metrics and a JSONL event "
+                             "log for this sweep (DIR defaults to "
+                             "<cache>/telemetry; see "
+                             "docs/OBSERVABILITY.md)")
 
 
 def _workloads(args):
@@ -79,6 +89,38 @@ def main(argv=None) -> int:
                       help="baseline/sdc_lp/topt/distill/l1iso/llc2x/"
                            "expert/victim/lp_bypass")
     _common(prun)
+
+    ptl = sub.add_parser(
+        "timeline",
+        help="simulate one workload and render its windowed metrics "
+             "as an ASCII timeline")
+    ptl.add_argument("workload",
+                     help="kernel.graph (pr.kron; bfs-twitter works too)")
+    ptl.add_argument("variant", nargs="?", default="sdc_lp")
+    ptl.add_argument("--window", type=int, default=None, metavar="N",
+                     help="accesses per window (default: trace length "
+                          "/ 32, clamped to [256, 4096])")
+    ptl.add_argument("--metric", default="l1d_mpki",
+                     help="primary metric for the bar chart "
+                          "(default l1d_mpki)")
+    ptl.add_argument("--length", type=int, default=DEFAULT_TRACE_LEN)
+    ptl.add_argument("--tier", default="medium")
+
+    pte = sub.add_parser(
+        "trace-export",
+        help="export one sweep as Chrome/Perfetto trace-event JSON")
+    pte.add_argument("run_id",
+                     help="run id from the sweep output or manifest, "
+                          "or 'latest'")
+    pte.add_argument("--telemetry", nargs="?", const="", default=None,
+                     metavar="DIR",
+                     help="telemetry directory holding the event log "
+                          "(default <cache>/telemetry)")
+    pte.add_argument("-o", "--out", default=None,
+                     help="output path (default trace-<run_id>.json)")
+    pte.add_argument("--validate", action="store_true",
+                     help="check the trace against the schema validator "
+                          "before reporting success")
     p14 = sub.add_parser("fig14")
     _common(p14)
     p14.add_argument("--mixes", type=int, default=10)
@@ -123,21 +165,26 @@ def main(argv=None) -> int:
         return 0
     if cmd == "run":
         return _run_one(args)
+    if cmd == "timeline":
+        return _timeline(args)
+    if cmd == "trace-export":
+        return _trace_export(args)
 
     kw = dict(tier=args.tier, length=args.length)
     # Grid-shaped commands run on the parallel engine; the rest are
     # single-simulation studies that take only tier/length.
     from repro.experiments.parallel import (GridError, GridInterrupted,
-                                            RunPolicy, print_progress)
+                                            ProgressPrinter, RunPolicy)
     policy = RunPolicy(timeout=args.timeout, retries=args.retries,
                        fail_fast=args.fail_fast)
     gkw = dict(kw, jobs=args.jobs, use_cache=not args.no_cache,
-               progress=print_progress
+               progress=ProgressPrinter()
                if (args.progress or args.jobs > 1) else None,
                policy=policy, run_id=args.resume)
     wls = _workloads(args)
+    tdir = _activate_telemetry(args)
     try:
-        return _dispatch_figure(cmd, args, kw, gkw, wls)
+        status = _dispatch_figure(cmd, args, kw, gkw, wls)
     except GridInterrupted as gi:
         print(f"\nInterrupted — every completed cell is checkpointed "
               f"({gi.summary}).")
@@ -151,6 +198,31 @@ def main(argv=None) -> int:
             print(f"Completed cells are checkpointed; retry the rest "
                   f"with: --resume {ge.run_id}")
         return 1
+    finally:
+        if tdir is not None:
+            from repro import telemetry as tele
+            tele.deactivate()
+    if tdir is not None:
+        from repro.telemetry.events import latest_run_id
+        run_id = latest_run_id(tdir)
+        if run_id is not None:
+            print(f"\ntelemetry: event log {tdir}/events-{run_id}.jsonl")
+            print(f"export with: repro trace-export {run_id} "
+                  f"--telemetry {tdir}")
+    return status
+
+
+def _activate_telemetry(args) -> Path | None:
+    """Install the ambient TelemetryConfig for ``--telemetry`` sweeps
+    (run_grid picks it up); returns the directory, or None when off."""
+    if getattr(args, "telemetry", None) is None:
+        return None
+    from repro import telemetry as tele
+    tdir = Path(args.telemetry) if args.telemetry \
+        else tele.default_telemetry_dir()
+    window = tele.telemetry_interval(None) or tele.DEFAULT_WINDOW
+    tele.activate(tele.TelemetryConfig(directory=tdir, window=window))
+    return tdir
 
 
 def _dispatch_figure(cmd, args, kw, gkw, wls) -> int:
@@ -207,6 +279,77 @@ def _dispatch_figure(cmd, args, kw, gkw, wls) -> int:
                                       tier=args.tier,
                                       length=args.length // 2)
         print(report.render_fig14(res))
+    return 0
+
+
+def _timeline(args) -> int:
+    """`repro timeline <workload> [variant]`: windowed ASCII report."""
+    from repro import telemetry as tele
+    from repro.experiments.runner import run_variant
+    from repro.experiments.workloads import workload_trace
+    from repro.telemetry.probes import TIMELINE_METRICS
+    from repro.telemetry.render import render_timeline
+
+    if args.metric not in TIMELINE_METRICS:
+        print(f"unknown metric {args.metric!r}; choose from: "
+              + ", ".join(TIMELINE_METRICS), file=sys.stderr)
+        return 2
+    wl = args.workload
+    if "." not in wl:               # accept bfs-twitter for bfs.twitter
+        wl = wl.replace("-", ".", 1)
+    trace = workload_trace(wl, tier=args.tier, length=args.length)
+    # Default window: ~32+ windows per run, never finer than 256
+    # accesses (too noisy) or coarser than the standard 4096.
+    window = args.window or max(256, min(tele.DEFAULT_WINDOW,
+                                         len(trace) // 32))
+    stats = run_variant(trace, args.variant, telemetry_every=window)
+    print(render_timeline(
+        stats.timeline,
+        title=f"{wl}/{args.variant} — {len(trace):,} accesses, "
+              f"tier={args.tier}",
+        primary=args.metric))
+    return 0
+
+
+def _trace_export(args) -> int:
+    """`repro trace-export <run_id>`: write Perfetto trace JSON."""
+    from repro import telemetry as tele
+    from repro.experiments.manifest import RunManifest
+    from repro.telemetry import events as tele_events
+    from repro.telemetry import trace_export
+
+    tdir = Path(args.telemetry) if args.telemetry \
+        else tele.default_telemetry_dir()
+    run_id = args.run_id
+    if run_id == "latest":
+        run_id = tele_events.latest_run_id(tdir)
+        if run_id is None:
+            try:
+                run_id = RunManifest.latest().run_id
+            except (FileNotFoundError, ValueError):
+                print(f"no event logs in {tdir} and no run manifests",
+                      file=sys.stderr)
+                return 1
+    try:
+        trace = trace_export.export_trace(run_id, telemetry_dir=tdir)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"run {run_id}: {exc}", file=sys.stderr)
+        return 1
+    out = Path(args.out) if args.out \
+        else tdir / f"trace-{run_id}.json"
+    trace_export.write_trace(trace, out)
+    spans = sum(1 for e in trace["traceEvents"] if e.get("ph") == "X")
+    print(f"wrote {out} — {spans} spans "
+          f"(source: {trace['otherData']['source']}); open in "
+          "https://ui.perfetto.dev or chrome://tracing")
+    if args.validate:
+        from repro.telemetry import schema as tele_schema
+        errors = tele_schema.validate_trace(trace)
+        if errors:
+            for err in errors:
+                print(err, file=sys.stderr)
+            return 1
+        print("trace schema: OK")
     return 0
 
 

@@ -20,6 +20,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
@@ -37,6 +38,8 @@ from repro.mem.hierarchy import (DRAM, L1D, L2C, LLC, SDC_LEVEL, REMOTE,
 from repro.mem.replacement import BeladyOPT, make_policy
 from repro.mem.timing import CoreTimer
 from repro.mem.tlb import TLBHierarchy
+from repro.telemetry import telemetry_interval
+from repro.telemetry.probes import WindowProbe, multicore_snapshot
 from repro.trace.record import Trace
 from repro.validate import check_interval
 from repro.validate.invariants import check_multicore_system
@@ -62,12 +65,14 @@ class MultiCoreSystem:
     def __init__(self, config: SystemConfig | None = None,
                  variant: str = "baseline",
                  expert_regions: list[set[int]] | None = None,
-                 check_every: int | None = None):
+                 check_every: int | None = None,
+                 telemetry_every: int | None = None):
         if variant not in VARIANTS:
             raise ValueError(f"unknown variant {variant!r}")
         if variant in ("victim", "lp_bypass"):
             raise ValueError(f"{variant!r} is a single-core-only ablation")
         self._check_every = check_interval(check_every)
+        self._telemetry_every = telemetry_interval(telemetry_every)
         base = config or SystemConfig(num_cores=4)
         self.config = variant_config(base, variant)
         self.variant = variant
@@ -495,6 +500,14 @@ class MultiCoreSystem:
         llc_acc_start = self.llc.stats.accesses
         llc_miss_start = self.llc.stats.misses
         check_every = self._check_every
+        tele_every = self._telemetry_every
+        # One probe per core, sampled on that core's own access count
+        # (first pass only — replayed accesses keep contention alive
+        # but are not part of the measured window).
+        probes = [WindowProbe(tele_every,
+                              partial(multicore_snapshot, self, c,
+                                      timers[c]))
+                  for c in range(n_cores)] if tele_every else None
         total_accesses = 0
 
         while not all(first_pass_done):
@@ -530,6 +543,9 @@ class MultiCoreSystem:
             completions[core][i] = timers[core].access(s["gaps"][i], latency,
                                                        dep_c, pool=pool)
             pos[core] += 1
+            if tele_every and not wrapped[core] \
+                    and pos[core] % tele_every == 0:
+                probes[core].sample()
             if check_every:
                 total_accesses += 1
                 if total_accesses % check_every == 0:
@@ -539,7 +555,9 @@ class MultiCoreSystem:
             if pos[core] >= s["n"]:
                 if not wrapped[core]:
                     first_pass_done[core] = True
-                    snapshots[core] = self._snapshot(core, timers[core])
+                    snapshots[core] = self._snapshot(
+                        core, timers[core],
+                        probes[core].timeline() if probes else None)
                 pos[core] = 0
                 wrapped[core] = True
 
@@ -547,14 +565,17 @@ class MultiCoreSystem:
             check_multicore_system(self, {"access": total_accesses,
                                           "position": "end-of-run"})
         per_core = [snap if snap is not None
-                    else self._snapshot(c, timers[c])
+                    else self._snapshot(c, timers[c],
+                                        probes[c].timeline()
+                                        if probes else None)
                     for c, snap in enumerate(snapshots)]
         return MultiCoreResult(
             per_core=per_core,
             llc_accesses=self.llc.stats.accesses - llc_acc_start,
             llc_misses=self.llc.stats.misses - llc_miss_start)
 
-    def _snapshot(self, core: int, timer: CoreTimer) -> SystemStats:
+    def _snapshot(self, core: int, timer: CoreTimer,
+                  timeline=None) -> SystemStats:
         import copy
         h = self.cores[core]
         return SystemStats(
@@ -567,4 +588,5 @@ class MultiCoreSystem:
             sdc=copy.copy(self.sdcs[core].stats) if self.sdcs[core] else None,
             dram=copy.copy(self.dram.stats),
             lp=copy.copy(self.lps[core].stats) if self.lps[core] else None,
-            tlb=copy.copy(self.tlbs[core].stats))
+            tlb=copy.copy(self.tlbs[core].stats),
+            timeline=timeline)

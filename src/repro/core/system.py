@@ -44,6 +44,9 @@ from repro.mem.hierarchy import (DRAM, L1D, L2C, LLC, SDC_LEVEL,
 from repro.mem.replacement import BeladyOPT
 from repro.mem.timing import CoreTimer
 from repro.mem.tlb import TLBHierarchy, TLBStats
+from repro.telemetry import telemetry_interval
+from repro.telemetry.probes import (Timeline, WindowProbe,
+                                    single_core_snapshot)
 from repro.trace.record import Trace
 from repro.validate import check_interval
 from repro.validate.invariants import check_single_core_system
@@ -69,6 +72,7 @@ class SystemStats:
     lp: LPStats | None
     levels: np.ndarray | None = None     # per-access serving level codes
     tlb: TLBStats | None = None
+    timeline: Timeline | None = None     # windowed metrics (telemetry)
 
     @property
     def ipc(self) -> float:
@@ -106,6 +110,8 @@ class SystemStats:
             "dram": dataclasses.asdict(self.dram),
             "lp": dataclasses.asdict(self.lp) if self.lp else None,
             "tlb": dataclasses.asdict(self.tlb) if self.tlb else None,
+            "timeline": (self.timeline.to_payload()
+                         if self.timeline is not None else None),
         }
 
     @classmethod
@@ -126,6 +132,8 @@ class SystemStats:
             dram=DRAMStats(**payload["dram"]),
             lp=opt("lp", LPStats),
             tlb=opt("tlb", TLBStats),
+            timeline=(Timeline.from_payload(payload["timeline"])
+                      if payload.get("timeline") is not None else None),
         )
 
     def as_dict(self) -> dict:
@@ -198,7 +206,8 @@ class SingleCoreSystem:
                  expert_regions: set[int] | None = None,
                  enable_prefetch: bool = True,
                  enable_tlb: bool = True,
-                 check_every: int | None = None):
+                 check_every: int | None = None,
+                 telemetry_every: int | None = None):
         if variant not in VARIANTS:
             raise ValueError(f"unknown variant {variant!r}; "
                              f"choose from {VARIANTS}")
@@ -207,6 +216,8 @@ class SingleCoreSystem:
         # here from the argument or REPRO_VALIDATE so the run loop pays
         # a single falsy test per access when disabled.
         self._check_every = check_interval(check_every)
+        # Windowed telemetry (repro.telemetry): 0 = off, same contract.
+        self._telemetry_every = telemetry_interval(telemetry_every)
         self._ledger_valid = True
         base = config or SystemConfig()
         self.config = variant_config(base, variant)
@@ -588,6 +599,11 @@ class SingleCoreSystem:
         stats_reset_at = min(warmup, n)
         flush_every = flush_sdc_every or 0
         check_every = self._check_every
+        tele_every = self._telemetry_every
+        probe = WindowProbe(tele_every,
+                            lambda: single_core_snapshot(self, timer)) \
+            if tele_every else None
+        probe_sample = probe.sample if probe is not None else None
         tlb_translate = tlb.translate_page if tlb is not None else None
         timer_access = timer.access
         hierarchy_access = hierarchy.access_fast
@@ -610,6 +626,13 @@ class SingleCoreSystem:
                     self.config.l1d.latency,
                     sdc_mshr_entries=self.config.sdc.mshr_entries)
                 timer_access = timer.access
+                if probe is not None:
+                    # Discard warm-up windows; the timeline measures
+                    # the same window the stats do (paper §IV-C).
+                    probe = WindowProbe(
+                        tele_every,
+                        lambda: single_core_snapshot(self, timer))
+                    probe_sample = probe.sample
             tlb_latency = tlb_translate(page) if tlb_translate is not None \
                 else 0
 
@@ -641,6 +664,8 @@ class SingleCoreSystem:
                                           dep_c, pool)
             if levels is not None:
                 levels[i] = level
+            if tele_every and (i + 1 - stats_reset_at) % tele_every == 0:
+                probe_sample()
             if check_every and (i + 1) % check_every == 0:
                 check_single_core_system(self, {
                     "access": i, "pc": pc, "block": block,
@@ -660,7 +685,8 @@ class SingleCoreSystem:
             dram=hierarchy.dram.stats,
             lp=lp.stats if lp else None,
             levels=levels,
-            tlb=tlb.stats if tlb else None)
+            tlb=tlb.stats if tlb else None,
+            timeline=probe.timeline() if probe is not None else None)
 
     # -- helpers ---------------------------------------------------------------
     def _precompute_aux(self, trace: Trace, blocks: np.ndarray):

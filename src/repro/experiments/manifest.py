@@ -96,6 +96,19 @@ class RunManifest:
         return cls(run_id, cls._path_for(run_id, directory))
 
     @classmethod
+    def latest(cls, directory: Path | None = None) -> "RunManifest":
+        """Load the most recently modified manifest in ``directory``
+        (``repro trace-export latest`` resolves run ids through this).
+        Raises ``FileNotFoundError`` when no runs exist."""
+        d = directory or runs_dir()
+        manifests = sorted(d.glob("*.json"),
+                           key=lambda p: p.stat().st_mtime) \
+            if d.is_dir() else []
+        if not manifests:
+            raise FileNotFoundError(f"no run manifests in {d}")
+        return cls.load(manifests[-1].stem, directory)
+
+    @classmethod
     def _prune(cls, directory: Path | None) -> None:
         d = directory or runs_dir()
         if not d.is_dir():

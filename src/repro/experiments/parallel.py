@@ -30,6 +30,13 @@ independent.  :func:`run_grid` is the one engine behind all of them:
   the resume id instead of a bare traceback.  All failure modes are
   reproducible in tests through :mod:`repro.faults` (see
   docs/RESILIENCE.md).
+* **Telemetry** — with a :class:`repro.telemetry.TelemetryConfig`
+  (explicit argument or the ambient one the CLI's ``--telemetry``
+  installs), every manifest transition is mirrored into a
+  run_id-correlated JSONL event log, workers append
+  ``cell_exec_started/finished`` pairs to private shards merged on
+  completion, and per-cell simulations record windowed timelines —
+  exportable as a Perfetto trace (see docs/OBSERVABILITY.md).
 
 The per-cell unit of work is a :class:`Job`.  ``Job.workload`` may be a
 workload name/``Workload`` (single-core), an in-memory ``Trace``
@@ -52,6 +59,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro import faults
+from repro import telemetry as tele
 from repro.config import SystemConfig
 from repro.core.multicore import MultiCoreResult, MultiCoreSystem
 from repro.core.system import SystemStats
@@ -60,6 +68,8 @@ from repro.experiments.manifest import RunManifest
 from repro.experiments.runner import default_config, run_variant
 from repro.experiments.workloads import (DEFAULT_TIER, DEFAULT_TRACE_LEN,
                                          Workload, workload_trace)
+from repro.telemetry import events as tele_events
+from repro.telemetry.metrics import Stopwatch, format_eta
 from repro.trace.record import Trace
 
 #: Pseudo-variant: profile ``expert_regions_best`` on the trace, then
@@ -105,10 +115,43 @@ ProgressFn = Callable[[Progress], None]
 
 
 def print_progress(p: Progress) -> None:
-    """Default CLI progress printer (one line per finished cell)."""
+    """Minimal progress printer (one line per finished cell)."""
     note = "" if p.source == "run" else f"  [{p.source}]"
     print(f"  [{p.done}/{p.total}] {p.label}  {p.seconds:.1f}s{note}",
           flush=True)
+
+
+class ProgressPrinter:
+    """Stateful CLI progress printer with throughput and ETA.
+
+    The sweep rate (cells/s) comes from a telemetry
+    :class:`~repro.telemetry.metrics.Stopwatch` started at construction
+    — construct the printer immediately before ``run_grid`` — and the
+    ETA is the remaining-cell count divided by the observed rate.
+    Each report is emitted as a single ``write`` + ``flush`` so output
+    never interleaves mid-line when stdout is a pipe or CI log
+    collector rather than a TTY.
+    """
+
+    def __init__(self, out=None, clock: Callable[[], float] | None = None):
+        self._out = out
+        self._watch = Stopwatch(clock) if clock is not None \
+            else Stopwatch()
+
+    def __call__(self, p: Progress) -> None:
+        out = self._out if self._out is not None else sys.stdout
+        elapsed = self._watch.elapsed()
+        rate = p.done / elapsed if elapsed > 0 else 0.0
+        if p.done >= p.total:
+            eta = format_eta(0)
+        else:
+            eta = format_eta((p.total - p.done) / rate if rate > 0
+                             else float("inf"))
+        note = "" if p.source == "run" else f"  [{p.source}]"
+        out.write(f"  [{p.done}/{p.total}] {p.label}  "
+                  f"{p.seconds:.1f}s{note}  "
+                  f"({rate:.2f} cells/s, ETA {eta})\n")
+        out.flush()
 
 
 @dataclass(frozen=True)
@@ -182,12 +225,22 @@ def _trace_ref(wl, tier: str, length: int):
             rc.workload_fingerprint(name, tier, length))
 
 
-def _job_spec(job: Job) -> tuple[dict, str]:
-    """Compile a Job into a picklable work spec and its cache key."""
+def _job_spec(job: Job, telemetry_window: int = 0) -> tuple[dict, str]:
+    """Compile a Job into a picklable work spec and its cache key.
+
+    A non-zero ``telemetry_window`` rides on the spec (workers enable
+    :class:`~repro.telemetry.probes.WindowProbe` sampling at that
+    interval) *and* joins the cache key, because a payload carrying a
+    timeline is a different artifact than one without.
+    """
     cfg = job.config or default_config()
-    extra = ""
+    extras = []
     if job.expert_regions is not None:
-        extra = "regions:" + ",".join(map(str, sorted(job.expert_regions)))
+        extras.append("regions:"
+                      + ",".join(map(str, sorted(job.expert_regions))))
+    if telemetry_window:
+        extras.append(f"tele:{telemetry_window}")
+    extra = "|".join(extras)
     if isinstance(job.workload, tuple):
         refs, fps = zip(*(_trace_ref(w, job.tier, job.length)
                           for w in job.workload))
@@ -201,6 +254,7 @@ def _job_spec(job: Job) -> tuple[dict, str]:
                 "expert_regions": (set(job.expert_regions)
                                    if job.expert_regions is not None
                                    else None)}
+    spec["telemetry"] = telemetry_window or None
     return spec, rc.result_key(fp, job.variant, cfg.digest(), extra)
 
 
@@ -233,6 +287,10 @@ def _execute(spec: dict) -> dict:
     """Run one cell; returns its lossless JSON payload."""
     cfg = spec["config"]
     variant = spec["variant"]
+    # The spec's window always wins over REPRO_TELEMETRY (0 disables),
+    # so cells only grow timelines when the grid asked — otherwise an
+    # ambient env var would poison cache entries keyed without "tele:".
+    tele_every = spec.get("telemetry") or 0
     if spec["kind"] == "multi":
         traces = [_resolve_trace(r) for r in spec["traces"]]
         expert_regions = None
@@ -240,7 +298,8 @@ def _execute(spec: dict) -> dict:
             from repro.core.expert import expert_regions_for
             expert_regions = [expert_regions_for(t, cfg) for t in traces]
         system = MultiCoreSystem(cfg, variant=variant,
-                                 expert_regions=expert_regions)
+                                 expert_regions=expert_regions,
+                                 telemetry_every=tele_every)
         result = system.run(traces)
         return {"multi": True,
                 "per_core": [s.to_payload() for s in result.per_core],
@@ -250,10 +309,12 @@ def _execute(spec: dict) -> dict:
     if variant == EXPERT_BEST:
         from repro.core.expert import expert_regions_best
         regions = expert_regions_best(trace, cfg)
-        stats = run_variant(trace, "expert", cfg, expert_regions=regions)
+        stats = run_variant(trace, "expert", cfg, expert_regions=regions,
+                            telemetry_every=tele_every)
     else:
         stats = run_variant(trace, variant, cfg,
-                            expert_regions=spec["expert_regions"])
+                            expert_regions=spec["expert_regions"],
+                            telemetry_every=tele_every)
     return stats.to_payload()
 
 
@@ -264,9 +325,25 @@ def _execute_cell(spec: dict, key: str, attempt: int = 1) -> dict:
     site, so a fault plan makes identical decisions in serial and
     parallel runs and across resumes.  Looks ``_execute`` up through
     the module so tests may monkeypatch it.
+
+    Emits ``cell_exec_started``/``cell_exec_finished`` to the worker's
+    telemetry shard when armed — *started* fires before the fault hook,
+    so crash/hang faults show up in trace exports as truncated spans.
     """
-    faults.inject_execution(key, attempt)
-    return _execute(spec)
+    tele_events.worker_emit("cell_exec_started", key=key, attempt=attempt)
+    t0 = time.perf_counter()
+    try:
+        faults.inject_execution(key, attempt)
+        payload = _execute(spec)
+    except BaseException as exc:
+        tele_events.worker_emit("cell_exec_finished", key=key,
+                                attempt=attempt,
+                                seconds=time.perf_counter() - t0,
+                                ok=False, error=_errstr(exc))
+        raise
+    tele_events.worker_emit("cell_exec_finished", key=key, attempt=attempt,
+                            seconds=time.perf_counter() - t0, ok=True)
+    return payload
 
 
 def _materialize(payload: dict):
@@ -281,12 +358,77 @@ def _materialize(payload: dict):
 
 # -- engine ----------------------------------------------------------------
 
+class _ManifestEvents:
+    """RunManifest decorator mirroring cell state changes into the
+    telemetry event log, so supervision code keeps its single
+    checkpoint call site and events can never drift from the manifest.
+    A ``None`` event log degrades it to a transparent pass-through.
+    """
+
+    _MARK_EVENTS = {"running": "cell_started", "retrying": "cell_retried",
+                    "failed": "cell_failed", "done": "cell_done",
+                    "pending": "cell_requeued"}
+
+    def __init__(self, manifest: RunManifest,
+                 events: tele_events.EventLog | None):
+        self._manifest = manifest
+        self._events = events
+
+    @property
+    def run_id(self) -> str:
+        return self._manifest.run_id
+
+    def save(self) -> None:
+        self._manifest.save()
+
+    def finalize(self, status: str) -> None:
+        self._manifest.finalize(status)
+
+    def summary(self) -> str:
+        return self._manifest.summary()
+
+    def engine_event(self, event: str, **fields) -> None:
+        """Emit a non-cell engine event (pool rebuilds, degradation)."""
+        if self._events is not None:
+            self._events.emit(event, **fields)
+
+    def register(self, key: str, label: str, status: str = "pending",
+                 source: str | None = None, fanout: int = 1) -> None:
+        self._manifest.register(key, label, status=status, source=source,
+                                fanout=fanout)
+        if self._events is not None:
+            event = "cell_cached" if status == "done" else "cell_queued"
+            self._events.emit(event, key=key, label=label)
+
+    def mark(self, key: str, status: str, attempts: int | None = None,
+             error: str | None = None, seconds: float | None = None,
+             source: str | None = None, save: bool = True) -> None:
+        self._manifest.mark(key, status, attempts=attempts, error=error,
+                            seconds=seconds, source=source, save=save)
+        event = self._MARK_EVENTS.get(status)
+        if self._events is None or event is None:
+            return
+        cell = self._manifest.cells.get(key, {})
+        fields = {"key": key, "label": cell.get("label", "?")}
+        if event in ("cell_started", "cell_retried", "cell_failed"):
+            fields["attempt"] = (attempts if attempts is not None
+                                 else cell.get("attempts", 0))
+        if event in ("cell_retried", "cell_failed"):
+            fields["error"] = error or "unknown error"
+        if event == "cell_done":
+            fields["source"] = source or cell.get("source") or "run"
+            fields["seconds"] = round(seconds, 3) \
+                if seconds is not None else 0.0
+        self._events.emit(event, **fields)
+
+
 def run_grid(grid: list[Job], jobs: int = 1, use_cache: bool = True,
              cache: rc.ResultsCache | None = None,
              progress: ProgressFn | None = None,
              policy: RunPolicy | None = None,
              run_id: str | None = None,
-             manifest_dir=None) -> list:
+             manifest_dir=None,
+             telemetry: "tele.TelemetryConfig | None" = None) -> list:
     """Execute a grid of jobs; returns results aligned with ``grid``.
 
     ``jobs`` is the worker-process count (``<= 1`` runs in-process);
@@ -295,7 +437,12 @@ def run_grid(grid: list[Job], jobs: int = 1, use_cache: bool = True,
     ``policy`` configures retries/timeout/failure handling (defaults to
     :data:`DEFAULT_POLICY`); ``run_id`` names the checkpoint manifest —
     pass the id of an interrupted run to resume it, re-simulating only
-    cells the manifest + cache do not already settle.  Results are
+    cells the manifest + cache do not already settle.  ``telemetry``
+    (default: the ambient :func:`repro.telemetry.active` config, which
+    the CLI's ``--telemetry`` flag installs) turns on per-window
+    metric sampling in every cell and writes a run_id-correlated JSONL
+    event log to ``telemetry.directory`` (per-worker shards merged by
+    the supervisor on exit — see docs/OBSERVABILITY.md).  Results are
     ``SystemStats`` for single-core jobs and ``MultiCoreResult`` for
     mix jobs, always reconstructed from the payload encoding so
     parallel and serial runs are bit-identical; permanently failed
@@ -304,6 +451,8 @@ def run_grid(grid: list[Job], jobs: int = 1, use_cache: bool = True,
     """
     policy = policy or DEFAULT_POLICY
     total = len(grid)
+    tcfg = telemetry if telemetry is not None else tele.active()
+    tele_window = tcfg.window if tcfg is not None else 0
     if cache is None and use_cache:
         cache = rc.ResultsCache()
     payloads: dict[str, dict] = {}          # key -> payload
@@ -311,16 +460,20 @@ def run_grid(grid: list[Job], jobs: int = 1, use_cache: bool = True,
     cell_sources: list[str] = []            # per-cell "run"/"cache"/"dedup"
     pending: dict[str, dict] = {}           # key -> spec (first wins)
     owners: dict[str, str] = {}             # key -> owning cell's label
+    quarantined: list[tuple[str, str]] = []  # (key, label) during scan
     done = 0
 
     for job in grid:
-        spec, key = _job_spec(job)
+        spec, key = _job_spec(job, tele_window)
         keys.append(key)
         if key in payloads or key in pending:
             cell_sources.append("dedup")
             continue
         if use_cache:
+            corrupt_before = cache.corrupt
             hit = cache.get(key)
+            if cache.corrupt > corrupt_before:
+                quarantined.append((key, job.label))
             if hit is not None:
                 payloads[key] = hit
                 cell_sources.append("cache")
@@ -329,7 +482,19 @@ def run_grid(grid: list[Job], jobs: int = 1, use_cache: bool = True,
         owners[key] = job.label         # each cell registers its own label
         cell_sources.append("run")
 
-    manifest = RunManifest.open(run_id, manifest_dir)
+    raw_manifest = RunManifest.open(run_id, manifest_dir)
+    events: tele_events.EventLog | None = None
+    tele_ctx: tuple[str, str] | None = None
+    if tcfg is not None and tcfg.directory is not None:
+        events = tele_events.EventLog(tcfg.directory, raw_manifest.run_id)
+        tele_ctx = (str(tcfg.directory), raw_manifest.run_id)
+    manifest = _ManifestEvents(raw_manifest, events)
+    if events is not None:
+        events.emit("grid_started", total_cells=total,
+                    unique_cells=len(pending), jobs=jobs,
+                    window=tele_window)
+        for key, label in quarantined:
+            events.emit("cell_quarantined", key=key, label=label)
     fanout: dict[str, int] = {}
     for key in keys:
         fanout[key] = fanout.get(key, 0) + 1
@@ -339,6 +504,8 @@ def run_grid(grid: list[Job], jobs: int = 1, use_cache: bool = True,
         elif source == "cache":
             manifest.register(key, job.label, status="done",
                               source="cache", fanout=fanout[key])
+        elif events is not None:        # dedup'd onto an earlier cell
+            events.emit("cell_dedup", key=key, label=job.label)
     manifest.save()
 
     def report(label: str, seconds: float, source: str) -> None:
@@ -355,42 +522,58 @@ def run_grid(grid: list[Job], jobs: int = 1, use_cache: bool = True,
 
     failures: dict[str, str] = {}           # key -> error (permanent)
 
+    # Arm worker-side event emission in this process too, covering the
+    # serial path and pool degradation (pool workers are armed through
+    # the pool initializer with the same context).
+    if tele_ctx is not None:
+        tele_events.worker_init(tele_ctx)
     try:
-        if pending:
-            if jobs > 1 and len(pending) > 1:
-                _run_parallel(pending, payloads, jobs, report, owners,
-                              store, policy, manifest, failures)
-            else:
-                _run_serial(list(pending), pending, payloads, report,
-                            owners, store, policy, manifest, failures)
-    except GridError:
-        manifest.finalize("failed")
-        raise
-    except KeyboardInterrupt:
-        manifest.finalize("interrupted")
-        raise GridInterrupted(manifest.run_id, manifest.summary()) \
-            from None
+        try:
+            if pending:
+                if jobs > 1 and len(pending) > 1:
+                    _run_parallel(pending, payloads, jobs, report, owners,
+                                  store, policy, manifest, failures,
+                                  tele_ctx=tele_ctx)
+                else:
+                    _run_serial(list(pending), pending, payloads, report,
+                                owners, store, policy, manifest, failures)
+        except GridError:
+            manifest.finalize("failed")
+            raise
+        except KeyboardInterrupt:
+            manifest.finalize("interrupted")
+            raise GridInterrupted(manifest.run_id, manifest.summary()) \
+                from None
 
-    # Report cache hits and dedup'd cells after the real work so the
-    # done/total counter stays monotonic.
-    for job, source in zip(grid, cell_sources):
-        if source != "run":
-            report(job.label, 0.0, source)
+        # Report cache hits and dedup'd cells after the real work so
+        # the done/total counter stays monotonic.
+        for job, source in zip(grid, cell_sources):
+            if source != "run":
+                report(job.label, 0.0, source)
 
-    if failures:
-        manifest.finalize("failed")
-        if not policy.allow_partial:
-            raise GridError(
-                f"{len(failures)} of {len(pending)} simulated cell(s) "
-                f"failed permanently after {policy.retries} retr"
-                f"{'y' if policy.retries == 1 else 'ies'} "
-                f"(run {manifest.run_id})",
-                failures={owners[k]: err for k, err in failures.items()},
-                run_id=manifest.run_id)
-    else:
-        manifest.finalize("complete")
-    return [_materialize(payloads[key]) if key in payloads else None
-            for key in keys]
+        if failures:
+            manifest.finalize("failed")
+            if not policy.allow_partial:
+                raise GridError(
+                    f"{len(failures)} of {len(pending)} simulated "
+                    f"cell(s) failed permanently after {policy.retries} "
+                    f"retr{'y' if policy.retries == 1 else 'ies'} "
+                    f"(run {manifest.run_id})",
+                    failures={owners[k]: err
+                              for k, err in failures.items()},
+                    run_id=manifest.run_id)
+        else:
+            manifest.finalize("complete")
+        return [_materialize(payloads[key]) if key in payloads else None
+                for key in keys]
+    finally:
+        if tele_ctx is not None:
+            tele_events.worker_init(None)
+        if events is not None:
+            events.emit("grid_finished",
+                        status=raw_manifest.data["status"])
+            events.merge_worker_shards()
+            events.close()
 
 
 def _errstr(exc: BaseException) -> str:
@@ -405,9 +588,17 @@ def _backoff_delay(policy: RunPolicy, key: str, attempt: int) -> float:
     return base * (1.0 + policy.jitter * unit)
 
 
+def _engine_event(manifest, event: str, **fields) -> None:
+    """Emit a supervision event when the manifest carries an event log
+    (plain ``RunManifest`` instances, as tests construct, don't)."""
+    emit = getattr(manifest, "engine_event", None)
+    if emit is not None:
+        emit(event, **fields)
+
+
 def _run_serial(order: list[str], pending: dict, payloads: dict, report,
                 owners: dict, store, policy: RunPolicy,
-                manifest: RunManifest, failures: dict,
+                manifest, failures: dict,
                 attempts: dict | None = None) -> None:
     """In-process executor with the same retry semantics as the pool
     path (also the degradation target when the pool keeps breaking)."""
@@ -448,12 +639,19 @@ def _run_serial(order: list[str], pending: dict, payloads: dict, report,
                 break
 
 
-def _new_pool(max_workers: int) -> ProcessPoolExecutor:
-    """Worker pool whose processes know the active fault plan (passed
-    explicitly so any multiprocessing start method behaves alike)."""
+def _worker_init(fault_plan, tele_ctx=None) -> None:
+    """Pool-process initializer: arm fault injection and telemetry."""
+    faults.worker_init(fault_plan)
+    tele_events.worker_init(tele_ctx)
+
+
+def _new_pool(max_workers: int, tele_ctx=None) -> ProcessPoolExecutor:
+    """Worker pool whose processes know the active fault plan and
+    telemetry context (passed explicitly so any multiprocessing start
+    method behaves alike)."""
     return ProcessPoolExecutor(max_workers=max_workers,
-                               initializer=faults.worker_init,
-                               initargs=(faults.active_plan(),))
+                               initializer=_worker_init,
+                               initargs=(faults.active_plan(), tele_ctx))
 
 
 def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
@@ -477,7 +675,7 @@ def _shutdown_pool(pool: ProcessPoolExecutor) -> None:
 
 def _run_parallel(pending: dict, payloads: dict, jobs: int, report,
                   owners: dict, store, policy: RunPolicy,
-                  manifest: RunManifest, failures: dict) -> None:
+                  manifest, failures: dict, tele_ctx=None) -> None:
     """Supervised pool executor: per-cell timeout, retry with backoff,
     broken-pool recovery, and serial degradation."""
     max_workers = min(jobs, len(pending))
@@ -489,7 +687,7 @@ def _run_parallel(pending: dict, payloads: dict, jobs: int, report,
     deadlines: dict[str, float] = {}    # key -> monotonic deadline
     rebuilds = 0
     seq = 0
-    pool = _new_pool(max_workers)
+    pool = _new_pool(max_workers, tele_ctx)
 
     def fail_or_retry(key: str, err: str) -> None:
         nonlocal seq
@@ -610,6 +808,8 @@ def _run_parallel(pending: dict, payloads: dict, jobs: int, report,
                     print(f"  [engine] process pool failed {rebuilds} "
                           "times; degrading to in-process serial "
                           "execution", file=sys.stderr, flush=True)
+                    _engine_event(manifest, "degraded_serial",
+                                  rebuilds=rebuilds)
                     remaining = list(ready) + [k for _, _, k in
                                                sorted(delayed)]
                     ready.clear()
@@ -621,6 +821,7 @@ def _run_parallel(pending: dict, payloads: dict, jobs: int, report,
                 print(f"  [engine] rebuilding process pool "
                       f"(failure {rebuilds}/{policy.max_pool_rebuilds})",
                       file=sys.stderr, flush=True)
-                pool = _new_pool(max_workers)
+                _engine_event(manifest, "pool_rebuilt", rebuilds=rebuilds)
+                pool = _new_pool(max_workers, tele_ctx)
     finally:
         _shutdown_pool(pool)

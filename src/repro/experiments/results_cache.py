@@ -20,14 +20,17 @@ directory safely.  Set the ``REPRO_CACHE_DIR`` environment variable to
 relocate the whole cache (traces and results) — see docs/PERFORMANCE.md.
 
 Entries are stored inside a checksummed **envelope**
-(``{"v": 1, "sha": <sha256 of canonical payload JSON>, "payload": …}``)
+(``{"v": 2, "sha": <sha256 of canonical payload JSON>, "payload": …}``)
 and validated on every read.  A file that fails to parse, does not
 match the envelope schema, or fails its checksum is **quarantined** —
 moved to ``results/quarantine/<name>.bad`` and counted in ``corrupt``
 (absent entries count in ``misses``) — so one flipped bit costs one
-recompute instead of poisoning a figure or re-missing forever.
-Construction also sweeps stale ``*.tmp.<pid>`` droppings left by
-writers that crashed mid-``put``.  See docs/RESILIENCE.md.
+recompute instead of poisoning a figure or re-missing forever.  A
+well-formed entry from an *older envelope version* is not corrupt,
+just outdated (v1 predates ``SystemStats.timeline``): it is unlinked
+and counted in ``stale``, then served as a miss.  Construction also
+sweeps stale ``*.tmp.<pid>`` droppings left by writers that crashed
+mid-``put``.  See docs/RESILIENCE.md.
 """
 
 from __future__ import annotations
@@ -49,7 +52,10 @@ _REPRO_ROOT = Path(__file__).resolve().parents[1]
 _FINGERPRINT_SOURCES = ("config.py", "mem", "core", "trace", "graphs",
                         "kernels")
 
-ENVELOPE_VERSION = 1
+ENVELOPE_VERSION = 2
+"""v2 (telemetry): payloads may carry ``timeline`` (windowed metric
+series, :mod:`repro.telemetry.probes`).  v1 entries are treated as
+stale — unlinked and recomputed, never quarantined as corrupt."""
 
 #: A ``*.tmp.<pid>`` file older than this is presumed orphaned by a
 #: crashed writer (live writers hold theirs for milliseconds).
@@ -117,9 +123,10 @@ class ResultsCache:
 
     Counters: ``hits`` (valid entry served), ``misses`` (entry absent),
     ``corrupt`` (entry present but unreadable — quarantined, served as
-    a miss), ``stores`` (entries written), ``quarantined`` (files moved
-    to ``quarantine/``), ``swept`` (stale temp files removed at
-    construction).
+    a miss), ``stale`` (well-formed entry from an older envelope
+    version — unlinked, served as a miss), ``stores`` (entries
+    written), ``quarantined`` (files moved to ``quarantine/``),
+    ``swept`` (stale temp files removed at construction).
     """
 
     def __init__(self, root: str | os.PathLike | None = None,
@@ -131,6 +138,7 @@ class ResultsCache:
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
+        self.stale = 0
         self.quarantined = 0
         self.swept = 0
         self._write_seq: dict[str, int] = {}
@@ -204,6 +212,14 @@ class ResultsCache:
             self.corrupt += 1
             self._quarantine(path)
             return None
+        if self._is_stale(entry):
+            self.stale += 1
+            self.misses += 1
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass    # raced with a concurrent reader's unlink
+            return None
         payload = self._validate(entry)
         if payload is None:
             self.corrupt += 1
@@ -211,6 +227,18 @@ class ResultsCache:
             return None
         self.hits += 1
         return payload
+
+    @staticmethod
+    def _is_stale(entry) -> bool:
+        """A structurally sound envelope whose version predates ours —
+        written by older code, not damaged, so it is dropped silently
+        rather than quarantined as corrupt."""
+        return (isinstance(entry, dict)
+                and isinstance(entry.get("v"), int)
+                and not isinstance(entry.get("v"), bool)
+                and entry["v"] < ENVELOPE_VERSION
+                and isinstance(entry.get("payload"), dict)
+                and isinstance(entry.get("sha"), str))
 
     @staticmethod
     def _validate(entry) -> dict | None:

@@ -28,13 +28,20 @@ def default_config(num_cores: int = 1) -> SystemConfig:
 def run_variant(trace: Trace, variant: str,
                 config: SystemConfig | None = None,
                 record_levels: bool = False,
-                expert_regions: set[int] | None = None) -> SystemStats:
-    """Simulate one trace under one variant."""
+                expert_regions: set[int] | None = None,
+                telemetry_every: int | None = None) -> SystemStats:
+    """Simulate one trace under one variant.
+
+    ``telemetry_every`` enables windowed metric sampling every N
+    accesses (see :mod:`repro.telemetry`); the resulting timeline
+    rides on ``SystemStats.timeline``.
+    """
     cfg = config or default_config()
     if variant == "expert" and expert_regions is None:
         expert_regions = expert_regions_for(trace, cfg)
     system = SingleCoreSystem(cfg, variant=variant,
-                              expert_regions=expert_regions)
+                              expert_regions=expert_regions,
+                              telemetry_every=telemetry_every)
     return system.run(trace, record_levels=record_levels)
 
 

@@ -1,0 +1,193 @@
+"""Structured JSONL run logs for ``run_grid`` sweeps.
+
+One sweep produces one ``events-<run_id>.jsonl`` file under the
+telemetry directory.  Every line is a self-contained JSON object::
+
+    {"ts": 1754822400.123456, "run_id": "20250806-...", "pid": 4242,
+     "event": "cell_started", "key": "ab12...", "label": "pr.kron/sdc_lp",
+     "attempt": 1}
+
+The **supervisor** (the process running ``run_grid``) emits lifecycle
+events — grid start/finish, cell queued/started/retried/failed/done/
+cached/quarantined, pool rebuilds.  **Workers** additionally emit
+``cell_exec_started``/``cell_exec_finished`` pairs into private shard
+files (``events-<run_id>.w<pid>.jsonl`` — one writer per file, so no
+interleaving or locking), which the supervisor merges into the main
+log, sorted by timestamp, when the grid finishes.  The merged log is
+what :mod:`repro.telemetry.trace_export` turns into a Chrome/Perfetto
+trace with one lane per worker process.
+
+Writes are line-buffered and flushed per event: a crashed sweep leaves
+a valid prefix of the log, never a torn line mid-file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+#: Every event name the schema admits (see telemetry.schema).
+EVENT_NAMES = (
+    "grid_started", "grid_finished",
+    "cell_queued", "cell_started", "cell_retried", "cell_requeued",
+    "cell_failed", "cell_done", "cell_cached", "cell_dedup",
+    "cell_quarantined",
+    "cell_exec_started", "cell_exec_finished",
+    "pool_rebuilt", "degraded_serial",
+)
+
+
+def events_path(directory, run_id: str) -> Path:
+    return Path(directory) / f"events-{run_id}.jsonl"
+
+
+def shard_path(directory, run_id: str, pid: int) -> Path:
+    return Path(directory) / f"events-{run_id}.w{pid}.jsonl"
+
+
+class EventLog:
+    """Append-only JSONL writer bound to one (directory, run_id)."""
+
+    def __init__(self, directory, run_id: str, path: Path | None = None):
+        self.run_id = run_id
+        self.directory = Path(directory)
+        self.path = path if path is not None \
+            else events_path(directory, run_id)
+        self._fh = None
+        self.emitted = 0
+
+    def _file(self):
+        if self._fh is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fh = open(self.path, "a", encoding="utf-8")
+        return self._fh
+
+    def emit(self, event: str, **fields) -> None:
+        record = {"ts": time.time(), "run_id": self.run_id,
+                  "pid": os.getpid(), "event": event}
+        record.update(fields)
+        fh = self._file()
+        fh.write(json.dumps(record, separators=(",", ":")) + "\n")
+        fh.flush()
+        self.emitted += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    # -- shard merge (supervisor side) ---------------------------------
+
+    def merge_worker_shards(self) -> int:
+        """Fold worker shard files into the main log, globally sorted
+        by timestamp; returns the number of events merged.
+
+        Unparseable shard lines (a worker killed mid-write) are
+        dropped — the main log must stay schema-valid.
+        """
+        records = []
+        shards = sorted(self.directory.glob(
+            f"events-{self.run_id}.w*.jsonl"))
+        for shard in shards:
+            try:
+                text = shard.read_text(encoding="utf-8")
+            except OSError:
+                continue
+            for line in text.splitlines():
+                try:
+                    records.append(json.loads(line))
+                except ValueError:
+                    continue
+        if records:
+            self.close()
+            try:
+                main = [json.loads(line) for line in
+                        self.path.read_text(encoding="utf-8")
+                        .splitlines()]
+            except (OSError, ValueError):
+                main = []
+            main.extend(records)
+            main.sort(key=lambda r: r.get("ts", 0.0))
+            tmp = self.path.with_name(
+                f"{self.path.name}.tmp.{os.getpid()}")
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for r in main:
+                    fh.write(json.dumps(r, separators=(",", ":")) + "\n")
+            os.replace(tmp, self.path)
+        for shard in shards:
+            try:
+                shard.unlink()
+            except OSError:
+                pass
+        return len(records)
+
+
+def read_events(path) -> list[dict]:
+    """Parse a JSONL event log; raises on unreadable files, skips
+    nothing (a malformed line is a real error for consumers)."""
+    out = []
+    for i, line in enumerate(
+            Path(path).read_text(encoding="utf-8").splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            out.append(json.loads(line))
+        except ValueError as exc:
+            raise ValueError(f"{path}:{i}: bad JSONL line: {exc}") \
+                from None
+    return out
+
+
+def latest_run_id(directory) -> str | None:
+    """Run id of the newest main event log in ``directory``."""
+    best: tuple[float, str] | None = None
+    for p in Path(directory).glob("events-*.jsonl"):
+        stem = p.name[len("events-"):-len(".jsonl")]
+        if ".w" in stem:        # worker shard, not a main log
+            continue
+        try:
+            mtime = p.stat().st_mtime
+        except OSError:
+            continue
+        if best is None or mtime > best[0]:
+            best = (mtime, stem)
+    return best[1] if best else None
+
+
+# -- worker-process context ------------------------------------------------
+
+_worker_log: EventLog | None = None
+
+
+def worker_init(ctx: tuple[str, str] | None) -> None:
+    """Pool-initializer half: arm per-worker event emission.
+
+    ``ctx`` is ``(telemetry_dir, run_id)`` or None.  Each worker
+    writes to its own pid-named shard, so concurrent workers never
+    share a file handle.
+    """
+    global _worker_log
+    if ctx is None:
+        _worker_log = None
+        return
+    directory, run_id = ctx
+    _worker_log = EventLog(directory, run_id,
+                           path=shard_path(directory, run_id,
+                                           os.getpid()))
+
+
+def worker_emit(event: str, **fields) -> None:
+    """Emit from cell-execution code; no-op when telemetry is off.
+
+    Never lets a telemetry failure (full disk, unlinked directory)
+    take down the cell it is observing.
+    """
+    log = _worker_log
+    if log is None:
+        return
+    try:
+        log.emit(event, **fields)
+    except OSError:
+        pass

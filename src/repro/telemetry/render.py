@@ -1,0 +1,117 @@
+"""ASCII rendering of :class:`repro.telemetry.probes.Timeline`.
+
+``repro timeline <workload> <variant>`` feeds a simulation's windowed
+metrics through :func:`render_timeline`: the primary metric gets a
+multi-row bar chart (phase structure at a glance — BFS frontier
+expansion/contraction, PageRank iteration boundaries), every other
+metric a one-line sparkline, all annotated with min/mean/max.
+
+Plain ASCII by design — paste-safe into CI logs, issues and e-mail.
+"""
+
+from __future__ import annotations
+
+from repro.telemetry.probes import TIMELINE_METRICS, Timeline
+
+#: Sparkline ramp, dimmest to brightest (space = window at series min).
+RAMP = " .:-=+*#%@"
+
+#: Rows in the primary metric's bar chart.
+CHART_ROWS = 8
+
+#: Widest chart/sparkline; longer series are bucket-averaged down.
+MAX_WIDTH = 72
+
+
+def _downsample(values: list[float], width: int) -> list[float]:
+    """Bucket-average a series onto at most ``width`` columns."""
+    n = len(values)
+    if n <= width:
+        return list(values)
+    out = []
+    for c in range(width):
+        lo = c * n // width
+        hi = max(lo + 1, (c + 1) * n // width)
+        chunk = values[lo:hi]
+        out.append(sum(chunk) / len(chunk))
+    return out
+
+
+def _scaled(values: list[float], steps: int) -> list[int]:
+    """Map values onto integer levels 0..steps-1 over their own range."""
+    lo, hi = min(values), max(values)
+    span = hi - lo
+    if span <= 0:
+        return [0] * len(values)
+    return [min(steps - 1, int((v - lo) / span * steps))
+            for v in values]
+
+
+def sparkline(values: list[float], width: int = MAX_WIDTH) -> str:
+    if not values:
+        return ""
+    cols = _downsample(values, width)
+    return "".join(RAMP[i] for i in _scaled(cols, len(RAMP)))
+
+
+def bar_chart(values: list[float], rows: int = CHART_ROWS,
+              width: int = MAX_WIDTH, indent: str = "  ") -> str:
+    """Vertical multi-row bar chart with a min/max-labelled y-axis."""
+    if not values:
+        return ""
+    cols = _downsample(values, width)
+    lo, hi = min(values), max(values)
+    levels = _scaled(cols, rows)
+    gutter = max(len(f"{hi:.1f}"), len(f"{lo:.1f}"))
+    lines = []
+    for row in range(rows - 1, -1, -1):
+        if row == rows - 1:
+            label = f"{hi:{gutter}.1f}"
+        elif row == 0:
+            label = f"{lo:{gutter}.1f}"
+        else:
+            label = " " * gutter
+        body = "".join("#" if lv >= row else " " for lv in levels)
+        lines.append(f"{indent}{label} |{body}")
+    lines.append(f"{indent}{' ' * gutter} +{'-' * len(cols)}")
+    return "\n".join(lines)
+
+
+def _stats_note(values: list[float]) -> str:
+    lo, hi = min(values), max(values)
+    mean = sum(values) / len(values)
+    return f"min {lo:8.2f}  mean {mean:8.2f}  max {hi:8.2f}"
+
+
+def render_timeline(timeline: Timeline, title: str = "",
+                    primary: str = "l1d_mpki",
+                    metrics=None, width: int = MAX_WIDTH) -> str:
+    """Full text report for one timeline."""
+    n = timeline.num_windows
+    lines = []
+    if title:
+        lines.append(title)
+    window_note = (f"{n} windows x {timeline.interval} accesses"
+                   + (f" (+{timeline.dropped} older windows dropped by "
+                      "the ring buffer)" if timeline.dropped else ""))
+    lines.append(window_note)
+    if n == 0:
+        lines.append("  (no complete windows — trace shorter than one "
+                     "telemetry interval)")
+        return "\n".join(lines)
+    names = [m for m in (metrics or TIMELINE_METRICS)
+             if m in timeline.series]
+    if primary in names:
+        values = timeline.metric(primary)
+        lines.append("")
+        lines.append(f"  {primary}   {_stats_note(values)}")
+        lines.append(bar_chart(values, width=width))
+    lines.append("")
+    pad = max(len(m) for m in names)
+    for name in names:
+        if name == primary:
+            continue
+        values = timeline.metric(name)
+        lines.append(f"  {name:<{pad}} |{sparkline(values, width)}| "
+                     f"{_stats_note(values)}")
+    return "\n".join(lines)

@@ -1,0 +1,112 @@
+"""Property tests for the SystemStats payload encoding.
+
+``to_payload``/``from_payload`` is the serialization boundary shared by
+the results cache and the parallel engine (parallel == serial only if
+the encoding is lossless), so it must round-trip exactly for *every*
+combination of optional fields — including the telemetry timeline.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.lp import LPStats
+from repro.core.system import SystemStats
+from repro.mem.cache import CacheStats
+from repro.mem.dram import DRAMStats
+from repro.mem.tlb import TLBStats
+from repro.telemetry.probes import TIMELINE_METRICS, Timeline
+
+counts = st.integers(min_value=0, max_value=10**9)
+metric_values = st.floats(min_value=0.0, max_value=1e6,
+                          allow_nan=False, allow_infinity=False)
+
+cache_stats = st.builds(
+    CacheStats, accesses=counts, hits=counts, misses=counts,
+    prefetch_fills=counts, prefetch_hits=counts, writebacks=counts,
+    evictions=counts, fills=counts, invalidations=counts)
+
+dram_stats = st.builds(DRAMStats, reads=counts, writes=counts,
+                       row_hits=counts, row_misses=counts,
+                       row_conflicts=counts)
+
+lp_stats = st.builds(LPStats, lookups=counts, table_hits=counts,
+                     table_misses=counts, predicted_irregular=counts,
+                     predicted_regular=counts)
+
+tlb_stats = st.builds(TLBStats, accesses=counts, l1_hits=counts,
+                      l2_hits=counts, walks=counts)
+
+
+@st.composite
+def timelines(draw):
+    n = draw(st.integers(min_value=0, max_value=12))
+    series = {name: draw(st.lists(metric_values, min_size=n,
+                                  max_size=n))
+              for name in TIMELINE_METRICS}
+    return Timeline(
+        interval=draw(st.integers(min_value=1, max_value=1 << 20)),
+        series=series,
+        instructions=draw(st.lists(counts, min_size=n, max_size=n)),
+        dropped=draw(st.integers(min_value=0, max_value=1000)))
+
+
+system_stats = st.builds(
+    SystemStats,
+    variant=st.sampled_from(("baseline", "sdc_lp", "topt", "expert")),
+    instructions=counts,
+    cycles=st.floats(min_value=0.0, max_value=1e12, allow_nan=False),
+    l1d=cache_stats, l2c=cache_stats, llc=cache_stats,
+    sdc=st.none() | cache_stats,
+    dram=dram_stats,
+    lp=st.none() | lp_stats,
+    levels=st.none(),
+    tlb=st.none() | tlb_stats,
+    timeline=st.none() | timelines())
+
+
+class TestPayloadRoundTrip:
+    @given(system_stats)
+    @settings(max_examples=120, deadline=None)
+    def test_round_trip_is_exact(self, stats):
+        back = SystemStats.from_payload(stats.to_payload())
+        assert back == stats
+
+    @given(system_stats)
+    @settings(max_examples=60, deadline=None)
+    def test_survives_json_encoding(self, stats):
+        # The cache stores payloads as JSON text; the payload must be
+        # JSON-representable and identical after the text round trip.
+        payload = stats.to_payload()
+        back = SystemStats.from_payload(json.loads(json.dumps(payload)))
+        assert back == stats
+
+    @given(system_stats)
+    @settings(max_examples=60, deadline=None)
+    def test_payload_checksum_is_stable(self, stats):
+        from repro.experiments.results_cache import payload_checksum
+        p1, p2 = stats.to_payload(), stats.to_payload()
+        assert payload_checksum(p1) == payload_checksum(p2)
+
+    def test_levels_refuse_serialization(self):
+        stats = SystemStats(
+            variant="baseline", instructions=1, cycles=1.0,
+            l1d=CacheStats(), l2c=CacheStats(), llc=CacheStats(),
+            sdc=None, dram=DRAMStats(), lp=None,
+            levels=np.zeros(4, dtype=np.int8))
+        with pytest.raises(ValueError):
+            stats.to_payload()
+
+    @given(timelines())
+    @settings(max_examples=60, deadline=None)
+    def test_timeline_payload_round_trip(self, timeline):
+        back = Timeline.from_payload(
+            json.loads(json.dumps(timeline.to_payload())))
+        assert back == timeline
+        assert dataclasses.asdict(back) == dataclasses.asdict(timeline)
