@@ -10,7 +10,7 @@ FAULT_SET ?= all
 WL ?= bfs-twitter
 VARIANT ?= sdc_lp
 
-.PHONY: test check check-faults bench bench-engine timeline
+.PHONY: test check check-faults bench bench-engine timeline docs-check
 
 test:                 ## tier-1 test suite
 	$(PY) -m pytest -q
@@ -52,3 +52,9 @@ bench:                ## full paper-reproduction benchmark run
 
 bench-engine:         ## throughput smoke: regenerates BENCH_engine.json
 	$(PY) -m pytest -q benchmarks/test_engine_throughput.py
+
+docs-check:           ## markdown link check + doctests in trace modules
+	python tools/check_links.py README.md DESIGN.md EXPERIMENTS.md docs/*.md
+	$(PY) -m doctest src/repro/trace/record.py src/repro/trace/kernels.py \
+	  src/repro/trace/store.py
+	@echo "docs-check: links and doctests OK"

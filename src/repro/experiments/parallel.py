@@ -12,8 +12,10 @@ independent.  :func:`run_grid` is the one engine behind all of them:
   of a figure performs zero simulations.
 * **Process parallelism** — with ``jobs > 1`` the remaining cells run
   under a ``ProcessPoolExecutor``.  Workers receive either a workload
-  *spec* (they load the trace from the shared on-disk trace cache,
-  whose writes are atomic) or a pickled in-memory trace, and return the
+  *spec* — they ``np.memmap`` the trace from the shared on-disk v8
+  trace store (:mod:`repro.trace.store`), so every worker shares one
+  page-cache copy of each trace instead of holding a private
+  deserialized clone — or a pickled in-memory trace, and return the
   lossless ``SystemStats`` payload dict.  Serial runs round-trip
   through the same payload encoding, so ``jobs=N`` is bit-identical to
   ``jobs=1`` for every N.
@@ -64,6 +66,7 @@ from repro.config import SystemConfig
 from repro.core.multicore import MultiCoreResult, MultiCoreSystem
 from repro.core.system import SystemStats
 from repro.experiments import results_cache as rc
+from repro.experiments import workloads
 from repro.experiments.manifest import RunManifest
 from repro.experiments.runner import default_config, run_variant
 from repro.experiments.workloads import (DEFAULT_TIER, DEFAULT_TRACE_LEN,
@@ -260,20 +263,26 @@ def _job_spec(job: Job, telemetry_window: int = 0) -> tuple[dict, str]:
 
 # -- worker side (also used by the in-process serial path) -----------------
 
-#: Per-process cache of loaded workload traces.  Bounded: a long
-#: heterogeneous grid cycles through many (workload, tier, length)
-#: specs, and an unbounded dict would grow worker RSS by one full trace
-#: per spec for the lifetime of the pool.
-_WORKER_TRACE_CAP = 4
+#: Per-process cache of opened workload traces.  Since the v8 trace
+#: store, a cached entry is a read-only ``np.memmap`` whose pages live
+#: in the shared OS page cache — holding many open costs file
+#: descriptors and address space, not private RSS, so the bound exists
+#: only to keep descriptor usage sane on very heterogeneous grids (it
+#: was 4 when every entry was a private in-RAM copy).
+_WORKER_TRACE_CAP = 64
 
-_worker_traces: dict = {}       # (name, tier, length) -> Trace, LRU order
+#: ``(name, tier, length, trace-format-version)`` -> Trace, LRU order.
+#: The format version is part of the key so a version bump mid-process
+#: (e.g. a test monkeypatching ``workloads.TRACE_FORMAT_VERSION``) can
+#: never be served a stale mapped trace from the old format.
+_worker_traces: dict = {}
 
 
 def _resolve_trace(ref) -> Trace:
     if ref[0] == "obj":
         return ref[1]
     _, name, tier, length = ref
-    key = (name, tier, length)
+    key = (name, tier, length, workloads.TRACE_FORMAT_VERSION)
     trace = _worker_traces.pop(key, None)   # pop+reinsert refreshes LRU
     if trace is None:
         trace = workload_trace(name, tier=tier, length=length)

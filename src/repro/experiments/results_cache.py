@@ -44,6 +44,7 @@ from pathlib import Path
 
 from repro import faults
 from repro.experiments.workloads import TRACE_FORMAT_VERSION, cache_dir
+from repro.trace import store
 
 # Sources whose content defines the simulation model.  A change to any
 # of these files must invalidate cached results; experiment-layer files
@@ -177,20 +178,10 @@ class ResultsCache:
 
     def _quarantine(self, path: Path) -> None:
         """Move an unreadable entry aside (``.bad`` suffix keeps it out
-        of entry globs) so it is recomputed once, not re-missed forever."""
-        try:
-            qdir = self.quarantine_dir
-            qdir.mkdir(parents=True, exist_ok=True)
-            dest = qdir / (path.name + ".bad")
-            if dest.exists():
-                dest = qdir / f"{path.name}.{os.getpid()}.bad"
-            shutil.move(str(path), str(dest))
-        except OSError:
-            # Fall back to deleting: never leave a poisoned entry live.
-            try:
-                path.unlink(missing_ok=True)
-            except OSError:
-                return
+        of entry globs) so it is recomputed once, not re-missed forever.
+        Shares :func:`repro.trace.store.quarantine_file` with the trace
+        store, so every corrupt on-disk artifact lands in one place."""
+        store.quarantine_file(path, self.quarantine_dir)
         self.quarantined += 1
 
     def get(self, key: str) -> dict | None:

@@ -3,10 +3,20 @@
 
 Traces are generated once per (kernel, graph, tier, length) and cached
 on disk under ``REPRO_CACHE_DIR`` (default ``.repro_cache/`` in the
-working directory).  Each workload's trace is a *mid-stream window* of
-the full instrumented run — the SimPoint-flavoured choice that avoids
-measuring only a kernel's sequential warm-up phase (e.g. PageRank's
-contrib loop).
+working directory) in the v8 memory-mapped store format
+(:mod:`repro.trace.store`, docs/TRACES.md): the supervisor and every
+``run_grid`` worker open the same file through ``np.memmap`` and share
+one page-cache copy instead of each deserializing a private clone.
+v7-era compressed ``.npz`` entries are migrated in place the first
+time they are requested (loaded once, rewritten as a v8 store file,
+counted in the store's ``migrations``/``stale`` counters); corrupt or
+truncated store files are quarantined to ``results/quarantine/`` and
+regenerated exactly once.
+
+Each workload's trace is a *mid-stream window* of the full
+instrumented run — the SimPoint-flavoured choice that avoids measuring
+only a kernel's sequential warm-up phase (e.g. PageRank's contrib
+loop).
 """
 
 from __future__ import annotations
@@ -18,8 +28,10 @@ from pathlib import Path
 
 import numpy as np
 
+from repro import faults
 from repro.graphs.suite import GRAPH_SUITE, load_graph
 from repro.kernels.common import KERNEL_TABLE, pick_source
+from repro.trace import store
 from repro.trace.kernels import generate_trace
 from repro.trace.record import Trace
 
@@ -28,7 +40,8 @@ GRAPHS = tuple(GRAPH_SUITE)
 
 DEFAULT_TIER = "medium"        # ~10^5 vertices; pairs with scaled_config(16)
 DEFAULT_TRACE_LEN = 400_000
-TRACE_FORMAT_VERSION = 7       # bump to invalidate cached traces
+TRACE_FORMAT_VERSION = 8       # bump to invalidate cached traces
+LEGACY_TRACE_FORMAT_VERSION = 7  # newest .npz-era version we migrate
 
 # The generator over-produces this many windows' worth of accesses; the
 # measurement window is the *tail* of what was generated, which lands
@@ -61,7 +74,20 @@ def cache_dir() -> Path:
 
 def _trace_path(wl: Workload, tier: str, length: int) -> Path:
     return cache_dir() / (f"{wl.name}.{tier}.{length}."
-                          f"v{TRACE_FORMAT_VERSION}.npz")
+                          f"v{TRACE_FORMAT_VERSION}.trace")
+
+
+def _legacy_trace_path(wl: Workload, tier: str, length: int) -> Path:
+    """Pre-store (compressed ``.npz``) cache entry for the same spec."""
+    return cache_dir() / (f"{wl.name}.{tier}.{length}."
+                          f"v{LEGACY_TRACE_FORMAT_VERSION}.npz")
+
+
+def trace_quarantine_dir() -> Path:
+    """Where corrupt trace-store files are moved — the same
+    ``results/quarantine/`` directory the results cache uses (one
+    quarantine for every on-disk artifact)."""
+    return cache_dir() / "results" / "quarantine"
 
 
 def _generate(wl: Workload, tier: str, length: int) -> Trace:
@@ -90,40 +116,94 @@ def _generate(wl: Workload, tier: str, length: int) -> Trace:
     return trace
 
 
-def _atomic_save(trace: Trace, path: Path) -> None:
-    """Write a trace cache entry atomically (temp file + rename).
+#: Per-process count of store writes per path, feeding the fault
+#: injector's ``write_seq`` (mirrors ``ResultsCache._write_seq``): with
+#: the default ``max_attempt=1`` only the *first* write of a trace file
+#: is damaged, so the regeneration after a quarantine lands clean.
+_store_write_seq: dict[str, int] = {}
 
-    Parallel workers may race to generate the same trace; writing to a
-    process-unique temp file and renaming guarantees no reader ever
-    sees a half-written .npz, and the last writer simply wins with an
+
+def _store_trace(trace: Trace, path: Path) -> None:
+    """Write a trace store entry (atomic inside :func:`store.write_trace`)
+    and apply any armed ``corrupt``/``truncate`` fault to the result.
+
+    Parallel workers may race to generate the same trace; the atomic
+    temp-file + rename write guarantees no reader ever sees a
+    half-written store file, and the last writer simply wins with an
     identical file.
     """
-    tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+    store.write_trace(trace, path)
+    if faults.active_plan() is not None:
+        site = f"trace:{path.name}"
+        seq = _store_write_seq[site] = _store_write_seq.get(site, 0) + 1
+        faults.mangle_trace_file(path, site, seq)
+
+
+def _quarantine_trace(path: Path) -> None:
+    store.COUNTERS["corrupt"].inc()
+    store.quarantine_file(path, trace_quarantine_dir())
+
+
+def _migrate_legacy(wl: Workload, tier: str, length: int,
+                    path: Path) -> bool:
+    """Convert a v7 ``.npz`` entry to a v8 store file, once.
+
+    Returns True when a migration happened.  The record bytes are
+    identical after migration (the npz holds the same ``ACCESS_DTYPE``
+    array), so migrated and freshly generated traces simulate
+    bit-identically.  An unreadable legacy file is quarantined and the
+    trace regenerated instead.
+    """
+    legacy = _legacy_trace_path(wl, tier, length)
+    if not legacy.exists():
+        return False
     try:
-        with open(tmp, "wb") as fh:
-            trace.save(fh)
-        os.replace(tmp, path)
-    except BaseException:
-        tmp.unlink(missing_ok=True)
-        raise
+        trace = Trace.load(legacy)
+    except Exception:
+        _quarantine_trace(legacy)
+        return False
+    _store_trace(trace, path)
+    legacy.unlink(missing_ok=True)
+    store.COUNTERS["migrations"].inc()
+    store.COUNTERS["stale"].inc()
+    return True
 
 
 def workload_trace(wl: Workload | str, tier: str = DEFAULT_TIER,
                    length: int = DEFAULT_TRACE_LEN,
-                   use_cache: bool = True) -> Trace:
-    """Load (or generate and cache) a workload's trace."""
+                   use_cache: bool = True, mapped: bool = True) -> Trace:
+    """Load (or generate and cache) a workload's trace.
+
+    With ``use_cache`` the trace lives in the on-disk v8 store and the
+    returned ``Trace.accesses`` is a **read-only memory map** of the
+    cache file (``mapped=False`` forces a private in-RAM copy; without
+    a cache the freshly generated in-memory trace is returned as-is).
+    A store file that fails validation — bad magic, checksum mismatch,
+    truncation — is quarantined to ``results/quarantine/`` and the
+    trace regenerated exactly once; a v7-era ``.npz`` entry for the
+    same spec is transparently migrated to the store format first.
+    """
     if isinstance(wl, str):
         kernel, graph = wl.split(".", 1)
         wl = Workload(kernel, graph)
+    if not use_cache:
+        return _generate(wl, tier, length)
     path = _trace_path(wl, tier, length)
-    if use_cache and path.exists():
-        try:
-            return Trace.load(path)
-        except Exception:
-            path.unlink(missing_ok=True)
-    trace = _generate(wl, tier, length)
-    if use_cache:
-        _atomic_save(trace, path)
+    if not path.exists():
+        _migrate_legacy(wl, tier, length, path)
+    # Two rounds: a file that fails validation is quarantined and
+    # regenerated once; a second consecutive failure (e.g. a fault plan
+    # damaging every write) falls back to the in-memory trace rather
+    # than looping.
+    for _ in range(2):
+        if path.exists():
+            try:
+                return store.open_trace(path, mapped=mapped)
+            except store.TraceStoreError:
+                _quarantine_trace(path)
+                store.COUNTERS["regenerated"].inc()
+        trace = _generate(wl, tier, length)
+        _store_trace(trace, path)
     return trace
 
 

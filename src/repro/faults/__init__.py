@@ -27,11 +27,13 @@ Fault kinds
     The cell raises :class:`FaultInjected` — a transient error that a
     retry (``attempt > max_attempt``) survives.
 ``corrupt``
-    A just-written results-cache entry has bytes scribbled over it, so
-    the next read fails checksum validation and must quarantine it.
+    A just-written on-disk artifact — a results-cache entry or a
+    trace-store file — has bytes scribbled over it, so the next read
+    fails checksum validation and must quarantine it.
 ``truncate``
-    A just-written results-cache entry is truncated, simulating a
-    writer that died mid-write.
+    A just-written results-cache entry or trace-store file is
+    truncated, simulating a writer that died mid-write (detected by
+    the trace store's header/size validation).
 
 Plan specs
 ----------
@@ -75,7 +77,9 @@ DEFAULT_SLOW_SECONDS = 0.05
 KINDS = ("crash", "hang", "slow", "exc", "corrupt", "truncate")
 
 #: Fault kinds applied at cell-execution time (by the engine) versus at
-#: cache-write time (by :class:`repro.experiments.results_cache.ResultsCache`).
+#: artifact-write time — results-cache entries
+#: (:class:`repro.experiments.results_cache.ResultsCache`) and
+#: trace-store files (:func:`repro.experiments.workloads.workload_trace`).
 EXECUTION_KINDS = ("crash", "hang", "slow", "exc")
 CACHE_KINDS = ("corrupt", "truncate")
 
@@ -232,15 +236,8 @@ def inject_execution(site: str, attempt: int = 1) -> None:
                             f"(attempt {attempt})")
 
 
-def mangle_cache_entry(path, site: str, write_seq: int = 1) -> bool:
-    """Apply cache-write faults to a just-committed entry file.
-
-    ``write_seq`` is the per-process write count for this key, playing
-    the role ``attempt`` plays for execution faults: with the default
-    ``max_attempt=1``, only the first write of an entry is damaged, so
-    the recompute after a quarantine lands a clean copy.  Returns True
-    when the file was damaged.  No-op without an active plan.
-    """
+def _mangle_file(path, site: str, write_seq: int) -> bool:
+    """Shared corrupt/truncate application for on-disk artifacts."""
     plan = active_plan()
     if plan is None:
         return False
@@ -255,3 +252,28 @@ def mangle_cache_entry(path, site: str, write_seq: int = 1) -> bool:
         path.write_bytes(data[:max(1, int(len(data) * 0.6))])
         damaged = True
     return damaged
+
+
+def mangle_cache_entry(path, site: str, write_seq: int = 1) -> bool:
+    """Apply cache-write faults to a just-committed entry file.
+
+    ``write_seq`` is the per-process write count for this key, playing
+    the role ``attempt`` plays for execution faults: with the default
+    ``max_attempt=1``, only the first write of an entry is damaged, so
+    the recompute after a quarantine lands a clean copy.  Returns True
+    when the file was damaged.  No-op without an active plan.
+    """
+    return _mangle_file(path, site, write_seq)
+
+
+def mangle_trace_file(path, site: str, write_seq: int = 1) -> bool:
+    """Apply corrupt/truncate faults to a just-written trace-store file.
+
+    Same decision semantics as :func:`mangle_cache_entry` (``site`` is
+    ``trace:<filename>``, ``write_seq`` the per-process write count for
+    that file).  A mid-file scribble lands in the record block and is
+    caught by the store's payload checksum; truncation is caught by its
+    header/size validation — either way the reader quarantines the file
+    and regenerates the trace once.
+    """
+    return _mangle_file(path, site, write_seq)

@@ -7,6 +7,11 @@ weights, property arrays, frontier buffers).  Records carry the static PC
 of the access site, the byte address, read/write, the number of
 non-memory instructions preceding the access, and a dependency link for
 pointer-chase serialization (DESIGN.md §5).
+
+On disk, workload traces live in the versioned, checksummed,
+memory-mappable v8 store format (:mod:`repro.trace.store`,
+docs/TRACES.md) so every experiment worker shares one page-cache copy
+of each trace.
 """
 
 from repro.trace.analysis import (miss_ratio_curve, region_reuse_profile,
@@ -15,6 +20,8 @@ from repro.trace.kernels import TRACERS, generate_trace
 from repro.trace.layout import AddressSpace, Region
 from repro.trace.record import ACCESS_DTYPE, Trace, TraceBuilder
 from repro.trace.simpoint import select_simpoints
+from repro.trace.store import (STORE_VERSION, TraceStoreError, open_trace,
+                               write_trace)
 
 __all__ = [
     "AddressSpace",
@@ -28,4 +35,8 @@ __all__ = [
     "reuse_distances",
     "miss_ratio_curve",
     "region_reuse_profile",
+    "STORE_VERSION",
+    "TraceStoreError",
+    "open_trace",
+    "write_trace",
 ]

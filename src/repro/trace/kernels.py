@@ -10,6 +10,11 @@ recorded with its static PC, byte address and producer dependency.
 Element sizes follow GAP / paper Table II: OA offsets are 8 B, NA vertex
 ids 4 B, property arrays 4 B (BC's dependency array is 8 B), frontier
 bitmaps 1 bit per vertex (modelled as byte-granular loads).
+
+:func:`generate_trace` is the dispatch entry point (by GAP short
+name); tracing is deterministic in its arguments, which is what lets
+the on-disk trace cache (docs/TRACES.md) key entries on the workload
+spec without hashing the records.
 """
 
 from __future__ import annotations
@@ -698,7 +703,32 @@ TRACERS = {
 
 def generate_trace(kernel: str, graph: CSRGraph,
                    max_accesses: int | None = None, **kwargs) -> Trace:
-    """Dispatch to the instrumented kernel by GAP short name."""
+    """Dispatch to the instrumented kernel by GAP short name.
+
+    ``kernel`` is one of :data:`TRACERS` (``bfs``/``pr``/``cc``/``bc``/
+    ``tc``/``sssp``); ``graph`` is the CSR input the algorithm actually
+    runs over, so the trace reflects that graph's degree distribution
+    and neighbour ordering.
+
+    ``max_accesses`` caps the trace length: generation runs the real
+    algorithm (all frontiers/rounds/buckets) but stops emitting once
+    the builder holds at least that many records, then windows the
+    result with :meth:`Trace.slice` — dependency links into the cut
+    region are clamped, and record ``max_accesses`` is the last one
+    kept.  ``None`` traces the run to completion (can be very large).
+
+    Remaining ``kwargs`` pass through to the specific tracer:
+    ``iterations`` (pr), ``source`` (bfs/sssp), ``num_sources``/
+    ``seed`` (bc), ``delta`` (sssp), ``max_rounds`` (cc), ``scan_cap``
+    (tc).  The result is deterministic in
+    ``(kernel, graph, arguments)`` — there is no hidden RNG — which is
+    what lets the trace cache key on the spec alone (docs/TRACES.md).
+
+    Generation is pure: the returned in-memory :class:`Trace` is not
+    cached or written anywhere.  For cached, memory-mapped workload
+    traces go through
+    :func:`repro.experiments.workloads.workload_trace`.
+    """
     try:
         fn = TRACERS[kernel]
     except KeyError:

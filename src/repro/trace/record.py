@@ -1,11 +1,40 @@
 """Access-record format, trace container and the vectorized stream builder.
 
-The builder assembles interleaved per-vertex / per-edge access streams
-without Python-level per-access loops: given the per-active-vertex edge
-counts, the position of every record in the final stream is an affine
-function of the vertex index and the cumulative edge count, so all PCs,
-addresses and dependency links can be scattered with NumPy fancy
-indexing (DESIGN.md substitution #1 keeps trace generation tractable).
+**Record format.** A trace is a NumPy structured array of
+:data:`ACCESS_DTYPE` records — one per dynamic memory access, 23 bytes
+packed:
+
+====== ==== ========================================================
+field  type meaning
+====== ==== ========================================================
+pc     u32  static id of the access site (synthetic text address)
+addr   u64  byte address within the traced program's address space
+write  u8   1 = store, 0 = load
+gap    u16  non-memory instructions executed since the previous access
+dep    i64  index of the producer access; -1 = address-independent
+====== ==== ========================================================
+
+``dep`` is the load-load dependency chain that makes lookup latency
+matter: ``contrib[NA[j]]`` depends on the ``NA[j]`` load that produced
+its address, so the timing model serializes the pair.  Links always
+point strictly backward (``dep[i] < i``, enforced by
+:meth:`Trace.validate`); windowing a trace clamps links that escape
+the window (:meth:`Trace.slice`).
+
+**Builder.** :class:`TraceBuilder` and
+:func:`assemble_vertex_edge_stream` assemble interleaved per-vertex /
+per-edge access streams without Python-level per-access loops: given
+the per-active-vertex edge counts, the position of every record in the
+final stream is an affine function of the vertex index and the
+cumulative edge count, so all PCs, addresses and dependency links can
+be scattered with NumPy fancy indexing (DESIGN.md substitution #1
+keeps trace generation tractable).
+
+**Serialization.** :meth:`Trace.save`/:meth:`Trace.load` round-trip
+the legacy compressed ``.npz`` form (format v7) and remain only as the
+migration source.  Cached workload traces live in the versioned,
+checksummed, memory-mappable v8 store (:mod:`repro.trace.store`,
+docs/TRACES.md), whose record block is this dtype byte-for-byte.
 """
 
 from __future__ import annotations
@@ -27,7 +56,14 @@ ACCESS_DTYPE = np.dtype([
 
 @dataclass
 class Trace:
-    """A complete memory-access trace plus its address-space metadata."""
+    """A complete memory-access trace plus its address-space metadata.
+
+    ``accesses`` is an :data:`ACCESS_DTYPE` array.  When the trace was
+    opened from the on-disk store it is a **read-only** ``np.memmap``
+    view sharing the OS page cache with every other process mapping the
+    same file — treat records as immutable and copy before mutating
+    (:meth:`slice` already copies).
+    """
 
     accesses: np.ndarray              # ACCESS_DTYPE array
     address_space: AddressSpace
@@ -47,7 +83,28 @@ class Trace:
         return (self.accesses["addr"] >> block_bits).astype(np.int64)
 
     def slice(self, start: int, stop: int) -> "Trace":
-        """Sub-trace with dependency links clamped to the window."""
+        """Sub-trace with dependency links clamped to the window.
+
+        Records are copied (never a view), ``dep`` indices are rebased
+        to the new origin, and links pointing before ``start`` become
+        -1 — the access is still replayed, it just no longer serializes
+        behind a producer outside the window.
+
+        >>> import numpy as np
+        >>> from repro.trace.layout import AddressSpace
+        >>> from repro.trace.record import ACCESS_DTYPE, Trace
+        >>> acc = np.zeros(4, dtype=ACCESS_DTYPE)
+        >>> acc["addr"] = [0, 8, 16, 24]
+        >>> acc["dep"] = [-1, 0, 1, -1]
+        >>> window = Trace(acc, AddressSpace(), "demo").slice(1, 3)
+        >>> len(window)
+        2
+        >>> window.accesses["dep"].tolist()  # link to record 0 clamped,
+        ...                                  # link to record 1 rebased
+        [-1, 0]
+        >>> window.name
+        'demo[1:3]'
+        """
         acc = self.accesses[start:stop].copy()
         dep = acc["dep"]
         rebased = dep - start
@@ -67,8 +124,10 @@ class Trace:
         if (dep < -1).any():
             raise ValueError("dep < -1 encountered")
 
-    # -- serialization ----------------------------------------------------
+    # -- serialization (legacy v7 .npz — see repro.trace.store for the
+    # v8 mmap format that cached workload traces actually use) ------------
     def save(self, path) -> None:
+        """Write the legacy compressed ``.npz`` form (format v7)."""
         regions = self.address_space.regions
         names = list(regions)
         np.savez_compressed(
@@ -87,6 +146,7 @@ class Trace:
 
     @classmethod
     def load(cls, path) -> "Trace":
+        """Read a legacy v7 ``.npz`` trace (the store's migration source)."""
         with np.load(path, allow_pickle=False) as z:
             space = AddressSpace()
             # Re-register regions preserving their original bases.

@@ -43,10 +43,13 @@ class TestWorkloads:
     def test_trace_cached_on_disk(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
         a = workload_trace("cc.urand", **MICRO)
-        files = list(tmp_path.glob("*.npz"))
+        files = list(tmp_path.glob("*.trace"))
         assert len(files) == 1
         b = workload_trace("cc.urand", **MICRO)
         assert np.array_equal(a.accesses, b.accesses)
+        # The cached entry is served as a read-only memory map.
+        assert isinstance(b.accesses, np.memmap)
+        assert not b.accesses.flags.writeable
 
     def test_string_and_object_equivalent(self, tmp_path, monkeypatch):
         monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))

@@ -267,8 +267,12 @@ class TestWorkerTraceLRU:
         for i in range(3 * cap):
             parallel._resolve_trace(("spec", f"wl{i}", "tiny", 1000))
         assert len(parallel._worker_traces) == cap
-        # Most recently used specs are the ones retained.
-        kept = {name for name, _, _ in parallel._worker_traces}
+        # Most recently used specs are the ones retained, and every key
+        # carries the trace format version (a mid-sweep bump must never
+        # serve a stale mapped trace).
+        from repro.experiments.workloads import TRACE_FORMAT_VERSION
+        kept = {name for name, _, _, ver in parallel._worker_traces
+                if ver == TRACE_FORMAT_VERSION}
         assert kept == {f"wl{i}" for i in range(2 * cap, 3 * cap)}
 
     def test_lru_refresh_on_reuse(self, monkeypatch):
@@ -284,5 +288,5 @@ class TestWorkerTraceLRU:
         parallel._resolve_trace(("spec", "wl0", "tiny", 1000))
         parallel._resolve_trace(("spec", "new", "tiny", 1000))
         assert loads.count("wl0") == 1
-        kept = {name for name, _, _ in parallel._worker_traces}
+        kept = {name for name, _, _, _ in parallel._worker_traces}
         assert "wl0" in kept and "wl1" not in kept

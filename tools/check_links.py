@@ -1,0 +1,101 @@
+#!/usr/bin/env python
+"""Offline markdown link checker (stdlib only).
+
+Validates every inline ``[text](target)`` link in the given markdown
+files:
+
+* relative file targets must exist on disk (resolved against the
+  containing file's directory);
+* ``file#anchor`` / ``#anchor`` targets must also name a heading in
+  the target file (GitHub-style slugs);
+* ``http(s)://`` and ``mailto:`` targets are skipped — CI has no
+  business depending on the network.
+
+Fenced code blocks are ignored, so ASCII diagrams mentioning
+``[TRACES.md]`` don't produce false positives.
+
+Usage: ``python tools/check_links.py README.md docs/*.md``
+Exits non-zero listing every broken link.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+#: Inline links; deliberately does not match reference-style
+#: definitions (unused in this repo) or bare [bracketed] text.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_FENCE = re.compile(r"^(```|~~~)")
+_HEADING = re.compile(r"^#{1,6}\s+(.*)$")
+
+
+def _slug(heading: str) -> str:
+    """GitHub's heading-to-anchor slug: lowercase, drop punctuation,
+    spaces to hyphens."""
+    heading = re.sub(r"`([^`]*)`", r"\1", heading.strip().lower())
+    heading = re.sub(r"[^\w\- ]", "", heading)
+    return heading.replace(" ", "-")
+
+
+def _strip_fences(text: str) -> list[str]:
+    kept, fenced = [], False
+    for line in text.splitlines():
+        if _FENCE.match(line):
+            fenced = not fenced
+            continue
+        kept.append("" if fenced else line)
+    return kept
+
+
+def _anchors(path: Path) -> set[str]:
+    slugs: set[str] = set()
+    for line in _strip_fences(path.read_text(encoding="utf-8")):
+        m = _HEADING.match(line)
+        if m:
+            slugs.add(_slug(m.group(1)))
+    return slugs
+
+
+def check_file(path: Path) -> list[str]:
+    errors = []
+    text = "\n".join(_strip_fences(path.read_text(encoding="utf-8")))
+    for target in _LINK.findall(text):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        dest = (path.parent / file_part).resolve() if file_part else path
+        if not dest.exists():
+            errors.append(f"{path}: broken link -> {target} "
+                          f"(missing {dest})")
+            continue
+        if anchor and dest.suffix == ".md":
+            if _slug(anchor) not in _anchors(dest):
+                errors.append(f"{path}: broken anchor -> {target}")
+    return errors
+
+
+def main(argv: list[str]) -> int:
+    if not argv:
+        print(__doc__)
+        return 2
+    paths = [Path(a) for a in argv]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for p in missing:
+            print(f"no such file: {p}", file=sys.stderr)
+        return 2
+    errors = [e for p in paths for e in check_file(p)]
+    for e in errors:
+        print(e, file=sys.stderr)
+    checked = sum(len(_LINK.findall(
+        "\n".join(_strip_fences(p.read_text(encoding='utf-8')))))
+        for p in paths)
+    print(f"check_links: {len(paths)} files, {checked} links, "
+          f"{len(errors)} broken")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
