@@ -10,7 +10,8 @@ FAULT_SET ?= all
 WL ?= bfs-twitter
 VARIANT ?= sdc_lp
 
-.PHONY: test check check-faults bench bench-engine timeline docs-check
+.PHONY: test check check-faults bench bench-engine profile-engine \
+	timeline docs-check
 
 test:                 ## tier-1 test suite
 	$(PY) -m pytest -q
@@ -52,6 +53,9 @@ bench:                ## full paper-reproduction benchmark run
 
 bench-engine:         ## throughput smoke: regenerates BENCH_engine.json
 	$(PY) -m pytest -q benchmarks/test_engine_throughput.py
+
+profile-engine:       ## cProfile hotspot report + ref/batch wall-clock A/B
+	$(PY) tools/profile_engine.py
 
 docs-check:           ## markdown link check + doctests in trace modules
 	python tools/check_links.py README.md DESIGN.md EXPERIMENTS.md docs/*.md

@@ -62,6 +62,12 @@ def _common(parser: argparse.ArgumentParser) -> None:
                              "log for this sweep (DIR defaults to "
                              "<cache>/telemetry; see "
                              "docs/OBSERVABILITY.md)")
+    parser.add_argument("--backend", choices=("ref", "batch"),
+                        default=None,
+                        help="simulation engine: the reference Python "
+                             "loop or the compiled structure-of-arrays "
+                             "kernel (bit-identical; default: "
+                             "$REPRO_BACKEND or ref)")
 
 
 def _workloads(args):
@@ -132,6 +138,12 @@ def main(argv=None) -> int:
 
     args = parser.parse_args(argv)
     cmd = args.command
+    if getattr(args, "backend", None):
+        # Install the selection ambiently: run_grid resolves it into
+        # every worker spec and cache key, and single-run commands pick
+        # it up through SingleCoreSystem.run's seam.
+        import os
+        os.environ["REPRO_BACKEND"] = args.backend
     if getattr(args, "check", False):
         # Enable the periodic invariant hook for this process and any
         # worker processes (they inherit the environment), and force the

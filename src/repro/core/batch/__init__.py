@@ -1,0 +1,36 @@
+"""Batched structure-of-arrays simulation backend.
+
+The public seam is small on purpose:
+
+* :func:`resolve_backend` — name resolution (``arg`` > ``REPRO_BACKEND``
+  env var > ``"ref"``);
+* :func:`try_run_batch` — run a trace through the compiled SoA kernel,
+  or return ``None`` to signal "fall back to the reference loop";
+* :func:`kernel_available` — can this host compile/load the kernel?
+
+See docs/PERFORMANCE.md ("Backends") for the design and A/B recipe.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.batch.backend import try_run_batch, unsupported_reason
+from repro.core.batch.build import (compile_kernel, kernel_available,
+                                    load_kernel, source_digest)
+
+BACKENDS = ("ref", "batch")
+
+
+def resolve_backend(backend: str | None = None) -> str:
+    """Resolve a backend name from the argument or ``REPRO_BACKEND``."""
+    name = backend or os.environ.get("REPRO_BACKEND") or "ref"
+    if name not in BACKENDS:
+        raise ValueError(f"unknown backend {name!r}; "
+                         f"choose from {BACKENDS}")
+    return name
+
+
+__all__ = ["BACKENDS", "resolve_backend", "try_run_batch",
+           "unsupported_reason", "kernel_available", "compile_kernel",
+           "load_kernel", "source_digest"]

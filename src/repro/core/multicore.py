@@ -25,6 +25,7 @@ from functools import partial
 import numpy as np
 
 from repro.config import BLOCK_BITS, SystemConfig
+from repro.core.batch import resolve_backend
 from repro.core.lp import LargePredictor
 from repro.core.sdcdir import SDCDirectory
 from repro.core.system import (SystemStats, VARIANTS,
@@ -448,9 +449,18 @@ class MultiCoreSystem:
                 self.dram.write(ev_block)
 
     # -- the run loop ------------------------------------------------------------
-    def run(self, traces: list[Trace], offset_address_spaces: bool = True
-            ) -> MultiCoreResult:
-        """Run one trace per core to first-pass completion."""
+    def run(self, traces: list[Trace], offset_address_spaces: bool = True,
+            backend: str | None = None) -> MultiCoreResult:
+        """Run one trace per core to first-pass completion.
+
+        ``backend`` is accepted for seam symmetry with
+        :meth:`SingleCoreSystem.run` and validated, but the multi-core
+        loop always executes on the reference path: cores interleave
+        access-by-access on their front-end clocks, which the batch
+        kernel (one linear trace, one core) cannot express.  A
+        ``"batch"`` request therefore falls back here by design.
+        """
+        resolve_backend(backend)
         if len(traces) != self.num_cores:
             raise ValueError(f"need {self.num_cores} traces, "
                              f"got {len(traces)}")

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.config import BLOCK_BITS, SystemConfig
+from repro.core.batch import resolve_backend, try_run_batch
 from repro.core.lp import LargePredictor, LPStats
 from repro.core.sdcdir import SDCDirectory
 from repro.mem.cache import CacheStats, SetAssocCache
@@ -196,6 +197,58 @@ def next_use_indices(blocks: np.ndarray) -> np.ndarray:
     same = sb[1:] == sb[:-1]
     nxt[order[:-1][same]] = order[1:][same]
     return nxt
+
+
+# -- per-trace aux memoization ------------------------------------------------
+# The aux feeds (next-use oracle, irregularity masks, distill word
+# indices) are pure functions of the trace, but short-window runs used
+# to recompute them on every run() call, dominating startup cost.  They
+# are memoized on the trace object itself so the cache lives exactly as
+# long as the trace and both backends share one copy.
+
+def _trace_aux_memo(trace: Trace) -> dict:
+    memo = getattr(trace, "_aux_cache", None)
+    if memo is None:
+        memo = {}
+        trace._aux_cache = memo
+    return memo
+
+
+def topt_aux_arrays(trace: Trace, blocks: np.ndarray | None = None
+                    ) -> tuple[np.ndarray, np.ndarray]:
+    """Memoized ``(next_use_indices, irregular_access_mask)`` arrays."""
+    memo = _trace_aux_memo(trace)
+    out = memo.get("topt")
+    if out is None:
+        if blocks is None:
+            blocks = (trace.accesses["addr"] >> BLOCK_BITS).astype(np.int64)
+        out = (next_use_indices(blocks), irregular_access_mask(trace))
+        memo["topt"] = out
+    return out
+
+
+def distill_aux_words(trace: Trace) -> np.ndarray:
+    """Memoized word-within-block indices (8 B words) per access."""
+    memo = _trace_aux_memo(trace)
+    out = memo.get("distill")
+    if out is None:
+        out = ((trace.accesses["addr"] >> 3) & 7).astype(np.int64)
+        memo["distill"] = out
+    return out
+
+
+def expert_block_mask(trace: Trace, regions: set[int]) -> np.ndarray:
+    """Memoized per-access mask of the expert-routed regions."""
+    memo = _trace_aux_memo(trace)
+    key = ("expert", frozenset(regions))
+    out = memo.get(key)
+    if out is None:
+        space = trace.address_space
+        rids = space.classify_addresses(
+            trace.accesses["addr"].astype(np.int64))
+        out = np.isin(rids, list(regions))
+        memo[key] = out
+    return out
 
 
 class SingleCoreSystem:
@@ -553,8 +606,8 @@ class SingleCoreSystem:
 
     # -- main loop -----------------------------------------------------------
     def run(self, trace: Trace, record_levels: bool = False,
-            warmup: int = 0, flush_sdc_every: int | None = None
-            ) -> SystemStats:
+            warmup: int = 0, flush_sdc_every: int | None = None,
+            backend: str | None = None) -> SystemStats:
         """Simulate a trace; ``warmup`` leading accesses touch state but
         are excluded from the timing/stat windows (paper §IV-C).
 
@@ -563,7 +616,23 @@ class SingleCoreSystem:
         lines write back and the LP table clears.  §III-E argues the
         real SDC is VIPT and needs no flush; the context-switch study
         quantifies what that property is worth.
+
+        ``backend`` picks the execution engine behind this seam:
+        ``"ref"`` is the reference Python loop below, ``"batch"`` the
+        compiled structure-of-arrays kernel (:mod:`repro.core.batch`),
+        bit-identical by construction.  ``None`` defers to the
+        ``REPRO_BACKEND`` environment variable (default ``ref``).  The
+        batch backend silently falls back here whenever the run is
+        outside its supported envelope (no compiler, invariant checking
+        armed, exotic policies, warm state — see
+        ``repro.core.batch.backend.unsupported_reason``).
         """
+        if resolve_backend(backend) == "batch":
+            stats = try_run_batch(self, trace, record_levels=record_levels,
+                                  warmup=warmup,
+                                  flush_sdc_every=flush_sdc_every)
+            if stats is not None:
+                return stats
         acc = trace.accesses
         n = len(acc)
         blocks_np = (acc["addr"] >> BLOCK_BITS).astype(np.int64)
@@ -690,26 +759,46 @@ class SingleCoreSystem:
 
     # -- helpers ---------------------------------------------------------------
     def _precompute_aux(self, trace: Trace, blocks: np.ndarray):
-        """Per-access aux values for the LLC policy, by variant."""
+        """Per-access aux values for the LLC policy, by variant.
+
+        Memoized per trace identity (see ``_trace_aux_memo``) — the aux
+        feeds are pure trace functions and dominated short-run startup.
+        """
         if self.variant == "topt":
-            nxt = next_use_indices(blocks)
-            irr = irregular_access_mask(trace)
-            return list(zip(nxt.tolist(), irr.tolist()))
+            memo = _trace_aux_memo(trace)
+            lst = memo.get("topt_list")
+            if lst is None:
+                nxt, irr = topt_aux_arrays(trace, blocks)
+                lst = list(zip(nxt.tolist(), irr.tolist()))
+                memo["topt_list"] = lst
+            return lst
         if self.variant == "distill":
             # Word index within the block (8 B words).
-            return ((trace.accesses["addr"] >> 3) & 7).astype(
-                np.int64).tolist()
+            memo = _trace_aux_memo(trace)
+            lst = memo.get("distill_list")
+            if lst is None:
+                lst = distill_aux_words(trace).tolist()
+                memo["distill_list"] = lst
+            return lst
         if self.config.llc.replacement == "ship":
             # SHiP keys its hit predictor on the access PC.
-            return trace.accesses["pc"].astype(np.int64).tolist()
+            memo = _trace_aux_memo(trace)
+            lst = memo.get("ship_list")
+            if lst is None:
+                lst = trace.accesses["pc"].astype(np.int64).tolist()
+                memo["ship_list"] = lst
+            return lst
         return None
 
     def _expert_block_classifier(self, trace: Trace,
                                  blocks: np.ndarray) -> list[bool]:
-        space = trace.address_space
-        rids = space.classify_addresses(
-            trace.accesses["addr"].astype(np.int64))
-        return np.isin(rids, list(self.expert_regions)).tolist()
+        memo = _trace_aux_memo(trace)
+        key = ("expert_list", frozenset(self.expert_regions))
+        lst = memo.get(key)
+        if lst is None:
+            lst = expert_block_mask(trace, self.expert_regions).tolist()
+            memo[key] = lst
+        return lst
 
     def _flush_sdc_state(self) -> None:
         """Context-switch flush of the SDC and LP (see ``run``).

@@ -228,13 +228,18 @@ def _trace_ref(wl, tier: str, length: int):
             rc.workload_fingerprint(name, tier, length))
 
 
-def _job_spec(job: Job, telemetry_window: int = 0) -> tuple[dict, str]:
+def _job_spec(job: Job, telemetry_window: int = 0,
+              backend: str = "ref") -> tuple[dict, str]:
     """Compile a Job into a picklable work spec and its cache key.
 
     A non-zero ``telemetry_window`` rides on the spec (workers enable
     :class:`~repro.telemetry.probes.WindowProbe` sampling at that
     interval) *and* joins the cache key, because a payload carrying a
-    timeline is a different artifact than one without.
+    timeline is a different artifact than one without.  A non-default
+    ``backend`` joins the key too: batch results are bit-identical by
+    contract, but the artifacts must never alias so a differential
+    sweep can hold both and diff them.  (The reference backend keeps
+    its historical extra-free keys.)
     """
     cfg = job.config or default_config()
     extras = []
@@ -243,6 +248,8 @@ def _job_spec(job: Job, telemetry_window: int = 0) -> tuple[dict, str]:
                       + ",".join(map(str, sorted(job.expert_regions))))
     if telemetry_window:
         extras.append(f"tele:{telemetry_window}")
+    if backend != "ref":
+        extras.append(f"backend:{backend}")
     extra = "|".join(extras)
     if isinstance(job.workload, tuple):
         refs, fps = zip(*(_trace_ref(w, job.tier, job.length)
@@ -258,6 +265,7 @@ def _job_spec(job: Job, telemetry_window: int = 0) -> tuple[dict, str]:
                                    if job.expert_regions is not None
                                    else None)}
     spec["telemetry"] = telemetry_window or None
+    spec["backend"] = backend
     return spec, rc.result_key(fp, job.variant, cfg.digest(), extra)
 
 
@@ -300,6 +308,10 @@ def _execute(spec: dict) -> dict:
     # so cells only grow timelines when the grid asked — otherwise an
     # ambient env var would poison cache entries keyed without "tele:".
     tele_every = spec.get("telemetry") or 0
+    # The spec's backend pins the engine at grid-compile time, so pool
+    # workers can never diverge from the supervisor via a different
+    # ambient REPRO_BACKEND.
+    backend = spec.get("backend") or "ref"
     if spec["kind"] == "multi":
         traces = [_resolve_trace(r) for r in spec["traces"]]
         expert_regions = None
@@ -309,7 +321,7 @@ def _execute(spec: dict) -> dict:
         system = MultiCoreSystem(cfg, variant=variant,
                                  expert_regions=expert_regions,
                                  telemetry_every=tele_every)
-        result = system.run(traces)
+        result = system.run(traces, backend=backend)
         return {"multi": True,
                 "per_core": [s.to_payload() for s in result.per_core],
                 "llc_accesses": result.llc_accesses,
@@ -319,11 +331,11 @@ def _execute(spec: dict) -> dict:
         from repro.core.expert import expert_regions_best
         regions = expert_regions_best(trace, cfg)
         stats = run_variant(trace, "expert", cfg, expert_regions=regions,
-                            telemetry_every=tele_every)
+                            telemetry_every=tele_every, backend=backend)
     else:
         stats = run_variant(trace, variant, cfg,
                             expert_regions=spec["expert_regions"],
-                            telemetry_every=tele_every)
+                            telemetry_every=tele_every, backend=backend)
     return stats.to_payload()
 
 
@@ -437,12 +449,16 @@ def run_grid(grid: list[Job], jobs: int = 1, use_cache: bool = True,
              policy: RunPolicy | None = None,
              run_id: str | None = None,
              manifest_dir=None,
-             telemetry: "tele.TelemetryConfig | None" = None) -> list:
+             telemetry: "tele.TelemetryConfig | None" = None,
+             backend: str | None = None) -> list:
     """Execute a grid of jobs; returns results aligned with ``grid``.
 
     ``jobs`` is the worker-process count (``<= 1`` runs in-process);
     ``use_cache=False`` bypasses the persistent result cache entirely
     (no reads, no writes) but still deduplicates within the grid.
+    ``backend`` selects the simulation engine for every cell (``"ref"``
+    / ``"batch"``; ``None`` defers to ``REPRO_BACKEND``), resolved once
+    here and pinned into each worker spec and cache key.
     ``policy`` configures retries/timeout/failure handling (defaults to
     :data:`DEFAULT_POLICY`); ``run_id`` names the checkpoint manifest —
     pass the id of an interrupted run to resume it, re-simulating only
@@ -462,6 +478,8 @@ def run_grid(grid: list[Job], jobs: int = 1, use_cache: bool = True,
     total = len(grid)
     tcfg = telemetry if telemetry is not None else tele.active()
     tele_window = tcfg.window if tcfg is not None else 0
+    from repro.core.batch import resolve_backend
+    backend = resolve_backend(backend)
     if cache is None and use_cache:
         cache = rc.ResultsCache()
     payloads: dict[str, dict] = {}          # key -> payload
@@ -473,7 +491,7 @@ def run_grid(grid: list[Job], jobs: int = 1, use_cache: bool = True,
     done = 0
 
     for job in grid:
-        spec, key = _job_spec(job, tele_window)
+        spec, key = _job_spec(job, tele_window, backend)
         keys.append(key)
         if key in payloads or key in pending:
             cell_sources.append("dedup")

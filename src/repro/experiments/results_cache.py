@@ -77,6 +77,10 @@ def code_fingerprint() -> str:
                 files.append(p)
             elif p.is_dir():
                 files.extend(p.rglob("*.py"))
+                # The batch backend's semantics live in C sources
+                # (core/batch/kernel.c) — a kernel edit must invalidate
+                # cached results exactly like a .py edit does.
+                files.extend(p.rglob("*.c"))
         for f in sorted(files):
             h.update(str(f.relative_to(_REPRO_ROOT)).encode())
             h.update(b"\0")

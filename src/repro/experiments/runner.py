@@ -29,12 +29,15 @@ def run_variant(trace: Trace, variant: str,
                 config: SystemConfig | None = None,
                 record_levels: bool = False,
                 expert_regions: set[int] | None = None,
-                telemetry_every: int | None = None) -> SystemStats:
+                telemetry_every: int | None = None,
+                backend: str | None = None) -> SystemStats:
     """Simulate one trace under one variant.
 
     ``telemetry_every`` enables windowed metric sampling every N
     accesses (see :mod:`repro.telemetry`); the resulting timeline
-    rides on ``SystemStats.timeline``.
+    rides on ``SystemStats.timeline``.  ``backend`` selects the
+    execution engine behind ``SingleCoreSystem.run`` (``"ref"`` /
+    ``"batch"``; None defers to ``REPRO_BACKEND``).
     """
     cfg = config or default_config()
     if variant == "expert" and expert_regions is None:
@@ -42,7 +45,8 @@ def run_variant(trace: Trace, variant: str,
     system = SingleCoreSystem(cfg, variant=variant,
                               expert_regions=expert_regions,
                               telemetry_every=telemetry_every)
-    return system.run(trace, record_levels=record_levels)
+    return system.run(trace, record_levels=record_levels,
+                      backend=backend)
 
 
 def run_workload(wl: Workload | str, variant: str = "baseline",

@@ -20,6 +20,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.config import CacheConfig
 from repro.mem.replacement import LRUPolicy, make_policy
 
@@ -283,3 +285,55 @@ class SetAssocCache:
         for s in self.sets:
             self.stats.invalidations += len(s)
             s.clear()
+
+    # -- structure-of-arrays state exchange (batch backend) ----------------
+    def export_soa(self) -> dict:
+        """Snapshot the cache's line state as flat slot-major arrays.
+
+        Layout: slot ``set_idx * ways + w`` holds the set's ``w``-th
+        dict entry (dict order — LRU order for inlined-LRU caches,
+        install order otherwise).  Empty slots carry tag ``-1``.  The
+        companion ``seq`` array records dict position as a global
+        running counter so install-order victim tie-breaks survive the
+        round-trip; ``clock`` is the replacement policy's stamp clock.
+        """
+        n = self.num_sets * self.ways
+        tags = np.full(n, -1, dtype=np.int64)
+        prio = np.zeros(n, dtype=np.int64)
+        seq = np.zeros(n, dtype=np.int64)
+        dirty = np.zeros(n, dtype=np.uint8)
+        pf = np.zeros(n, dtype=np.uint8)
+        occ = np.zeros(self.num_sets, dtype=np.int64)
+        seqc = 0
+        for set_idx, lines in enumerate(self.sets):
+            base = set_idx * self.ways
+            occ[set_idx] = len(lines)
+            for w, (tag, line) in enumerate(lines.items()):
+                seqc += 1
+                tags[base + w] = tag
+                prio[base + w] = line[0]
+                seq[base + w] = seqc
+                dirty[base + w] = 1 if line[1] else 0
+                pf[base + w] = 1 if line[2] else 0
+        return {"tags": tags, "prio": prio, "seq": seq, "dirty": dirty,
+                "pf": pf, "occ": occ, "seqc": seqc,
+                "clock": getattr(self.policy, "_clock", 0)}
+
+    def import_soa(self, soa: dict, order: str = "prio",
+                   clock: int | None = None) -> None:
+        """Rebuild the per-set dicts from :meth:`export_soa`-layout
+        arrays, restoring dict order by sorting on ``order`` (``prio``
+        for LRU recency order, ``seq`` for install order)."""
+        tags, prio = soa["tags"], soa["prio"]
+        dirty, pf = soa["dirty"], soa["pf"]
+        key = soa[order]
+        for set_idx in range(self.num_sets):
+            base = set_idx * self.ways
+            slots = [base + w for w in range(self.ways)
+                     if tags[base + w] >= 0]
+            slots.sort(key=lambda j: key[j])
+            self.sets[set_idx] = {
+                int(tags[j]): [int(prio[j]), int(dirty[j]), int(pf[j])]
+                for j in slots}
+        if clock is not None and hasattr(self.policy, "_clock"):
+            self.policy._clock = int(clock)

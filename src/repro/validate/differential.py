@@ -205,6 +205,57 @@ def diff_multicore1_vs_single(trace: Trace,
     return single, multi.per_core[0]
 
 
+#: The six fig. 7 comparison variants the ref-vs-batch twin must cover.
+FIG7_VARIANTS = ("baseline", "l1iso", "distill", "topt", "llc2x",
+                 "sdc_lp")
+
+
+def diff_ref_vs_batch(trace: Trace, config: SystemConfig | None = None,
+                      variant: str = "baseline",
+                      telemetry_every: int = 4096, warmup: int = 0
+                      ) -> tuple[SystemStats, SystemStats]:
+    """Reference Python loop vs. the compiled SoA batch backend.
+
+    The strongest twin in the suite: the batch backend re-implements the
+    whole single-core state machine in C over structure-of-arrays
+    buffers (:mod:`repro.core.batch`), so *every* field of the result —
+    counters, float cycles, per-access serving levels and the windowed
+    telemetry payload — must be bit-identical to the reference.
+
+    Raises :class:`RuntimeError` when the kernel cannot be loaded on
+    this host (no C compiler): callers skip rather than fail, while the
+    CI gate runs on hosts that are guaranteed a compiler.
+    """
+    from repro.core.batch import (kernel_available, try_run_batch,
+                                  unsupported_reason)
+    if not kernel_available():
+        raise RuntimeError("batch kernel unavailable on this host")
+    cfg = config or SystemConfig()
+    kwargs = {}
+    if variant == "expert":
+        from repro.core.expert import expert_regions_for
+        kwargs["expert_regions"] = expert_regions_for(trace, cfg)
+    ref = SingleCoreSystem(cfg, variant, telemetry_every=telemetry_every,
+                           **kwargs).run(
+        trace, record_levels=True, warmup=warmup, backend="ref")
+    batch_system = SingleCoreSystem(cfg, variant,
+                                    telemetry_every=telemetry_every,
+                                    **kwargs)
+    batch = try_run_batch(batch_system, trace, record_levels=True,
+                          warmup=warmup)
+    if batch is None:
+        raise DifferentialMismatch(
+            f"ref vs batch [{variant}]: batch backend refused the run "
+            f"({unsupported_reason(batch_system, trace)})")
+    assert_stats_equal(ref, batch, f"ref vs batch [{variant}]")
+    ta = ref.timeline.to_payload() if ref.timeline is not None else None
+    tb = batch.timeline.to_payload() if batch.timeline is not None else None
+    if ta != tb:
+        raise DifferentialMismatch(
+            f"ref vs batch [{variant}]: telemetry timeline diverged")
+    return ref, batch
+
+
 def run_differential_suite(trace: Trace,
                            config: SystemConfig | None = None,
                            variants: tuple[str, ...] = ("baseline",
@@ -224,4 +275,9 @@ def run_differential_suite(trace: Trace,
         results[f"multicore1-vs-single[{variant}]"] = "ok"
     diff_access_vs_access_fast(trace, config)
     results["access-vs-access_fast"] = "ok"
+    from repro.core.batch import kernel_available
+    if kernel_available():
+        for variant in variants:
+            diff_ref_vs_batch(trace, config, variant)
+            results[f"ref-vs-batch[{variant}]"] = "ok"
     return results

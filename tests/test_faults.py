@@ -14,6 +14,7 @@ import json
 import pytest
 
 from repro import faults
+from repro.core.batch import resolve_backend
 from repro.experiments import parallel
 from repro.experiments import results_cache as rc
 from repro.experiments.manifest import RunManifest
@@ -49,7 +50,11 @@ def clean(grid, tmp_path):
 
 
 def grid_keys(grid):
-    return [_job_spec(job)[1] for job in grid]
+    # Keys must match what run_grid computes, which folds in the
+    # ambient backend (REPRO_BACKEND) — seed searches over these keys
+    # would otherwise target cells run_grid never executes.
+    backend = resolve_backend(None)
+    return [_job_spec(job, backend=backend)[1] for job in grid]
 
 
 def find_seed(predicate, limit=500):

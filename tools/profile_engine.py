@@ -1,0 +1,100 @@
+"""Hotspot harness for the simulation engine (``make profile-engine``).
+
+Profiles the reference backend over the BENCH_engine workload (PageRank
+on kron(12,8), 50k-access window) with :mod:`cProfile` and prints the
+top-20 functions by cumulative and by self time, then times both
+backends with ``timeit``-style best-of-N wall clocks for a quick A/B.
+
+Usage::
+
+    make profile-engine                        # or:
+    PYTHONPATH=src python tools/profile_engine.py [--variant sdc_lp]
+        [--accesses 50000] [--repeats 3] [--no-batch]
+
+The cProfile pass always runs the *reference* loop — the batch backend
+spends its time inside one C call, which a Python profiler cannot
+decompose; its cost shows up in the wall-clock A/B below instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+
+def build_workload(accesses: int):
+    from repro.graphs import kronecker_graph
+    from repro.trace.kernels import trace_pagerank
+    g = kronecker_graph(12, 8, seed=1)
+    return trace_pagerank(g, iterations=1, max_accesses=accesses)
+
+
+def profile_reference(trace, cfg, variant: str, top: int = 20) -> None:
+    from repro.core.system import SingleCoreSystem
+    system = SingleCoreSystem(cfg, variant)
+    prof = cProfile.Profile()
+    prof.enable()
+    system.run(trace, backend="ref")
+    prof.disable()
+    for sort, title in (("cumulative", "cumulative time"),
+                        ("tottime", "self time")):
+        buf = io.StringIO()
+        stats = pstats.Stats(prof, stream=buf)
+        stats.strip_dirs().sort_stats(sort).print_stats(top)
+        print(f"\n== top {top} by {title} [{variant}] " + "=" * 30)
+        print(buf.getvalue())
+
+
+def time_backends(trace, cfg, variant: str, repeats: int,
+                  with_batch: bool) -> None:
+    from repro.core.batch import kernel_available
+    from repro.core.system import SingleCoreSystem
+    backends = ["ref"]
+    if with_batch and kernel_available():
+        backends.append("batch")
+    elif with_batch:
+        print("(batch kernel unavailable — timing reference only)")
+    best = {b: float("inf") for b in backends}
+    for _ in range(repeats):
+        for b in backends:            # interleaved to share thermal state
+            system = SingleCoreSystem(cfg, variant)
+            t0 = time.perf_counter()
+            system.run(trace, backend=b)
+            best[b] = min(best[b], time.perf_counter() - t0)
+    n = len(trace)
+    print(f"\n== wall clock, best of {repeats} [{variant}] " + "=" * 26)
+    for b in backends:
+        print(f"  {b:5}: {best[b]:.3f}s  {n / best[b]:>12,.0f} acc/s")
+    if len(backends) == 2:
+        print(f"  batch speedup: {best['ref'] / best['batch']:.1f}x")
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--variant", default="sdc_lp")
+    ap.add_argument("--accesses", type=int, default=50_000)
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--top", type=int, default=20)
+    ap.add_argument("--no-batch", action="store_true",
+                    help="skip the batch-backend wall-clock A/B")
+    args = ap.parse_args(argv)
+
+    from repro.config import scaled_config
+    cfg = scaled_config(16)
+    print(f"tracing pagerank/kron(12,8), {args.accesses:,}-access window…")
+    trace = build_workload(args.accesses)
+    profile_reference(trace, cfg, args.variant, top=args.top)
+    time_backends(trace, cfg, args.variant, args.repeats,
+                  with_batch=not args.no_batch)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
