@@ -10,8 +10,11 @@ FAULT_SET ?= all
 WL ?= bfs-twitter
 VARIANT ?= sdc_lp
 
-.PHONY: test check check-faults bench bench-engine profile-engine \
-	timeline docs-check
+.PHONY: test check check-faults check-shards bench bench-engine \
+	profile-engine timeline docs-check
+
+# Shard counts exercised by check-shards.
+SHARD_COUNTS ?= 2 4
 
 test:                 ## tier-1 test suite
 	$(PY) -m pytest -q
@@ -47,6 +50,41 @@ check-faults:         ## fault-injected grids must match the fault-free run
 	  REPRO_CACHE_DIR="$$work/cache" $$cmd > "$$work/got.txt"; \
 	  diff "$$work/clean.txt" "$$work/got.txt"; fi; \
 	echo "check-faults[$(FAULT_SET)]: fault-injected output identical to fault-free"
+
+check-shards:         ## sharded sweeps must merge bit-identical to single-host
+	set -euo pipefail; \
+	work=$$(mktemp -d); trap 'rm -rf "$$work"' EXIT; \
+	fig="fig7 --quick --tier tiny --length 20000"; \
+	strip() { grep -v '^  \['; }; \
+	env REPRO_CACHE_DIR="$$work/solo" $(PY) -m repro $$fig --no-cache \
+	  > "$$work/clean.txt"; \
+	for n in $(SHARD_COUNTS); do \
+	  cache="$$work/cache$$n"; rid="shardcheck-$$n"; \
+	  for i in $$(seq 0 $$((n - 1))); do \
+	    env REPRO_CACHE_DIR="$$cache" $(PY) -m repro $$fig \
+	      --shard $$i/$$n --resume $$rid > /dev/null; \
+	  done; \
+	  env REPRO_CACHE_DIR="$$cache" $(PY) -m repro merge $$rid; \
+	  env REPRO_CACHE_DIR="$$cache" $(PY) -m repro $$fig \
+	    | strip > "$$work/got.txt"; \
+	  diff "$$work/clean.txt" "$$work/got.txt"; \
+	done; \
+	cache="$$work/cache-loss"; rid=shardcheck-loss; \
+	if env REPRO_CACHE_DIR="$$cache" REPRO_FAULTS='seed=7,shard_loss:1.0' \
+	  $(PY) -m repro $$fig --shard 0/2 --resume $$rid > /dev/null 2>&1; \
+	  then echo "armed shard_loss run should have failed"; exit 1; fi; \
+	env REPRO_CACHE_DIR="$$cache" $(PY) -m repro $$fig \
+	  --shard 1/2 --resume $$rid > /dev/null; \
+	if env REPRO_CACHE_DIR="$$cache" $(PY) -m repro merge $$rid \
+	  > /dev/null 2>&1; \
+	  then echo "merge should have refused the lost shard"; exit 1; fi; \
+	env REPRO_CACHE_DIR="$$cache" REPRO_FAULTS='seed=7,shard_loss:1.0' \
+	  $(PY) -m repro $$fig --shard 0/2 --resume $$rid > /dev/null; \
+	env REPRO_CACHE_DIR="$$cache" $(PY) -m repro merge $$rid; \
+	env REPRO_CACHE_DIR="$$cache" $(PY) -m repro $$fig \
+	  | strip > "$$work/got.txt"; \
+	diff "$$work/clean.txt" "$$work/got.txt"; \
+	echo "check-shards: merged shard output identical to single-host"
 
 bench:                ## full paper-reproduction benchmark run
 	$(PY) -m pytest benchmarks/ --benchmark-only

@@ -52,7 +52,15 @@ def _common(parser: argparse.ArgumentParser) -> None:
                              "(exponential backoff; default 2)")
     parser.add_argument("--resume", metavar="RUN_ID", default=None,
                         help="resume an interrupted sweep from its run "
-                             "manifest (see docs/RESILIENCE.md)")
+                             "manifest (see docs/RESILIENCE.md); for "
+                             "sharded sweeps, names the shared run id")
+    parser.add_argument("--shard", metavar="I/N", default=None,
+                        help="execute only shard I of N of the grid "
+                             "(deterministic hash partition; requires "
+                             "--resume RUN_ID with the same id on "
+                             "every host, stitched afterwards by "
+                             "'repro merge RUN_ID' — see "
+                             "docs/RESILIENCE.md)")
     parser.add_argument("--fail-fast", action="store_true",
                         help="abort the whole grid on the first "
                              "permanent cell failure")
@@ -127,6 +135,16 @@ def main(argv=None) -> int:
     pte.add_argument("--validate", action="store_true",
                      help="check the trace against the schema validator "
                           "before reporting success")
+    pmg = sub.add_parser(
+        "merge",
+        help="validate and stitch the shard manifests of a sharded "
+             "sweep (run with --shard I/N) into one merged run")
+    pmg.add_argument("run_id", help="shared run id of the sharded sweep")
+    pmg.add_argument("--telemetry", nargs="?", const="", default=None,
+                     metavar="DIR",
+                     help="also fold per-shard event logs in DIR into "
+                          "the main events-<run_id>.jsonl")
+
     p14 = sub.add_parser("fig14")
     _common(p14)
     p14.add_argument("--mixes", type=int, default=10)
@@ -181,12 +199,34 @@ def main(argv=None) -> int:
         return _timeline(args)
     if cmd == "trace-export":
         return _trace_export(args)
+    if cmd == "merge":
+        return _merge(args)
 
     kw = dict(tier=args.tier, length=args.length)
     # Grid-shaped commands run on the parallel engine; the rest are
     # single-simulation studies that take only tier/length.
+    from repro import faults
+    from repro.experiments import sharding
     from repro.experiments.parallel import (GridError, GridInterrupted,
-                                            ProgressPrinter, RunPolicy)
+                                            ProgressPrinter, RunPolicy,
+                                            ShardComplete)
+    shard = None
+    if getattr(args, "shard", None):
+        try:
+            shard = sharding.parse_shard(args.shard)
+        except ValueError as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        if args.resume is None:
+            print("--shard needs a shared run id: pass --resume RUN_ID "
+                  "with the same id on every host (repro merge RUN_ID "
+                  "stitches the shards afterwards)", file=sys.stderr)
+            return 2
+        if args.no_cache or getattr(args, "check", False):
+            print("--shard requires the results cache (repro merge "
+                  "validates shard results out of it); drop "
+                  "--no-cache/--check", file=sys.stderr)
+            return 2
     policy = RunPolicy(timeout=args.timeout, retries=args.retries,
                        fail_fast=args.fail_fast)
     gkw = dict(kw, jobs=args.jobs, use_cache=not args.no_cache,
@@ -195,8 +235,22 @@ def main(argv=None) -> int:
                policy=policy, run_id=args.resume)
     wls = _workloads(args)
     tdir = _activate_telemetry(args)
+    sharding.activate_shard(shard)
     try:
         status = _dispatch_figure(cmd, args, kw, gkw, wls)
+    except ShardComplete as sc:
+        print(f"shard {sc.shard[0]}/{sc.shard[1]} of run {sc.run_id} "
+              f"complete ({sc.summary}).")
+        print(f"When every shard has run, stitch with: "
+              f"repro merge {sc.run_id}")
+        return 0
+    except faults.FaultInjected as fi:
+        print(f"\n{fi}", file=sys.stderr)
+        if shard is not None:
+            print(f"Shard checkpoint kept; re-run this shard with "
+                  f"--shard {shard[0]}/{shard[1]} --resume "
+                  f"{args.resume}", file=sys.stderr)
+        return 1
     except GridInterrupted as gi:
         print(f"\nInterrupted — every completed cell is checkpointed "
               f"({gi.summary}).")
@@ -211,6 +265,7 @@ def main(argv=None) -> int:
                   f"with: --resume {ge.run_id}")
         return 1
     finally:
+        sharding.activate_shard(None)
         if tdir is not None:
             from repro import telemetry as tele
             tele.deactivate()
@@ -362,6 +417,37 @@ def _trace_export(args) -> int:
                 print(err, file=sys.stderr)
             return 1
         print("trace schema: OK")
+    return 0
+
+
+def _merge(args) -> int:
+    """`repro merge <run_id>`: validate + stitch a sharded sweep."""
+    from repro.experiments.sharding import ShardMergeError, merge_shards
+
+    tdir = None
+    if args.telemetry is not None:
+        from repro import telemetry as tele
+        tdir = Path(args.telemetry) if args.telemetry \
+            else tele.default_telemetry_dir()
+    try:
+        report = merge_shards(args.run_id, telemetry_dir=tdir)
+    except FileNotFoundError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    except ShardMergeError as exc:
+        print(f"{exc}", file=sys.stderr)
+        for problem in exc.problems:
+            print(f"  - {problem}", file=sys.stderr)
+        print("Nothing was merged; fix the shards above and re-run "
+              "repro merge.", file=sys.stderr)
+        return 1
+    print(f"run {report.run_id}: {report.summary()}")
+    print(f"merged manifest: {report.manifest_path}")
+    if tdir is not None:
+        print(f"telemetry: folded {report.events_merged} shard-log "
+              f"events into {tdir}/events-{report.run_id}.jsonl")
+    print("A figure rerun against this cache now reproduces the "
+          "single-host output from validated shard results.")
     return 0
 
 

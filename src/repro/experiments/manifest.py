@@ -34,6 +34,12 @@ MAX_MANIFESTS = 200
 #: Cell statuses a resumed run does not need to re-execute.
 _SETTLED = ("done",)
 
+#: Run statuses _prune may delete.  ``running`` manifests belong to a
+#: live (possibly concurrent) supervisor and ``interrupted`` ones are
+#: resume state — deleting either would strand an in-flight sweep, so
+#: only cleanly finalized runs are reclaimed.
+_PRUNABLE = ("complete", "failed")
+
 
 def new_run_id() -> str:
     return (time.strftime("%Y%m%d-%H%M%S") + "-"
@@ -63,13 +69,16 @@ class RunManifest:
     # -- construction ------------------------------------------------------
 
     @classmethod
-    def _path_for(cls, run_id: str, directory: Path | None) -> Path:
-        return (directory or runs_dir()) / f"{run_id}.json"
+    def _path_for(cls, run_id: str, directory: Path | None,
+                  shard: tuple[int, int] | None = None) -> Path:
+        name = run_id if shard is None \
+            else f"{run_id}.shard-{shard[0]}-of-{shard[1]}"
+        return (directory or runs_dir()) / f"{name}.json"
 
     @classmethod
-    def load(cls, run_id: str,
-             directory: Path | None = None) -> "RunManifest":
-        path = cls._path_for(run_id, directory)
+    def load(cls, run_id: str, directory: Path | None = None,
+             shard: tuple[int, int] | None = None) -> "RunManifest":
+        path = cls._path_for(run_id, directory, shard)
         with open(path, encoding="utf-8") as fh:
             data = json.load(fh)
         if data.get("version") != MANIFEST_VERSION:
@@ -79,44 +88,84 @@ class RunManifest:
 
     @classmethod
     def open(cls, run_id: str | None = None,
-             directory: Path | None = None) -> "RunManifest":
+             directory: Path | None = None,
+             shard: tuple[int, int] | None = None) -> "RunManifest":
         """Resume the manifest for ``run_id`` if one exists on disk,
-        else start a fresh one (generating an id when none is given)."""
+        else start a fresh one (generating an id when none is given).
+        ``shard=(I, N)`` names the per-shard manifest
+        ``<run_id>.shard-I-of-N.json`` of a sharded sweep."""
         if run_id is not None:
             try:
-                m = cls.load(run_id, directory)
+                m = cls.load(run_id, directory, shard)
             except FileNotFoundError:
-                m = cls(run_id, cls._path_for(run_id, directory))
+                m = cls(run_id, cls._path_for(run_id, directory, shard))
             else:
                 m.data["resumes"] = m.data.get("resumes", 0) + 1
                 m.data["status"] = "running"
-            return m
-        run_id = new_run_id()
-        cls._prune(directory)
-        return cls(run_id, cls._path_for(run_id, directory))
+        else:
+            run_id = new_run_id()
+            cls._prune(directory)
+            m = cls(run_id, cls._path_for(run_id, directory, shard))
+        if shard is not None:
+            m.data["shard"] = {"index": shard[0], "count": shard[1]}
+        return m
 
     @classmethod
     def latest(cls, directory: Path | None = None) -> "RunManifest":
-        """Load the most recently modified manifest in ``directory``
-        (``repro trace-export latest`` resolves run ids through this).
-        Raises ``FileNotFoundError`` when no runs exist."""
+        """Load the most recently modified (non-shard) manifest in
+        ``directory`` (``repro trace-export latest`` resolves run ids
+        through this).  Raises ``FileNotFoundError`` when no runs
+        exist.  A manifest pruned by a concurrent supervisor between
+        glob and stat is skipped, not an error."""
         d = directory or runs_dir()
-        manifests = sorted(d.glob("*.json"),
-                           key=lambda p: p.stat().st_mtime) \
-            if d.is_dir() else []
-        if not manifests:
+        best: tuple[float, str] | None = None
+        if d.is_dir():
+            for p in d.glob("*.json"):
+                if ".shard-" in p.stem:
+                    continue
+                try:
+                    mtime = p.stat().st_mtime
+                except OSError:
+                    continue        # vanished under a sibling's prune
+                if best is None or mtime > best[0]:
+                    best = (mtime, p.stem)
+        if best is None:
             raise FileNotFoundError(f"no run manifests in {d}")
-        return cls.load(manifests[-1].stem, directory)
+        return cls.load(best[1], directory)
 
     @classmethod
     def _prune(cls, directory: Path | None) -> None:
+        """Reclaim the oldest *finalized* manifests beyond the cap.
+
+        Runs that are still ``running`` (a concurrent supervisor's
+        live sweep) or ``interrupted`` (resume state) are never
+        deleted, so a shared ``runs/`` directory cannot strand an
+        in-flight sweep; entries vanishing mid-scan (a sibling pruning
+        the same directory) are tolerated, not raised.
+        """
         d = directory or runs_dir()
         if not d.is_dir():
             return
-        manifests = sorted(d.glob("*.json"),
-                           key=lambda p: p.stat().st_mtime)
-        for p in manifests[:max(0, len(manifests) - (MAX_MANIFESTS - 1))]:
-            p.unlink(missing_ok=True)
+        entries = []
+        for p in d.glob("*.json"):
+            try:
+                entries.append((p.stat().st_mtime, p))
+            except OSError:
+                continue            # vanished under a sibling's prune
+        entries.sort(key=lambda e: e[0])
+        excess = len(entries) - (MAX_MANIFESTS - 1)
+        for _, p in entries:
+            if excess <= 0:
+                break
+            try:
+                with open(p, encoding="utf-8") as fh:
+                    status = json.load(fh).get("status")
+            except (OSError, ValueError):
+                excess -= 1         # vanished or unreadable: skip it
+                continue
+            if status in _PRUNABLE:
+                p.unlink(missing_ok=True)
+                excess -= 1
 
     # -- cell state --------------------------------------------------------
 
@@ -130,12 +179,15 @@ class RunManifest:
                 if c["status"] in _SETTLED}
 
     def register(self, key: str, label: str, status: str = "pending",
-                 source: str | None = None, fanout: int = 1) -> None:
+                 source: str | None = None, fanout: int = 1,
+                 shard: int | None = None) -> None:
         """Record one unique cell with its current-run initial state.
 
         ``fanout`` counts how many grid cells dedup onto this key.
         Re-registering (a resume) resets transient state but keeps the
-        cumulative attempt counter.
+        cumulative attempt counter.  ``shard`` records the cell's
+        owning shard index in a sharded sweep (cells owned by sibling
+        shards are registered with status ``elsewhere``).
         """
         prior = self.cells.get(key, {})
         self.cells[key] = {
@@ -147,6 +199,8 @@ class RunManifest:
             "source": source,
             "fanout": fanout,
         }
+        if shard is not None:
+            self.cells[key]["shard"] = shard
 
     def mark(self, key: str, status: str, attempts: int | None = None,
              error: str | None = None, seconds: float | None = None,
@@ -189,7 +243,12 @@ class RunManifest:
         counts = self.counts()
         total = len(self.cells)
         done = counts.get("done", 0)
+        elsewhere = counts.get("elsewhere", 0)
+        if elsewhere:
+            total -= elsewhere
         parts = [f"{done}/{total} unique cells done"]
+        if elsewhere:
+            parts.append(f"{elsewhere} owned by sibling shards")
         for status in ("failed", "pending", "running", "retrying"):
             if counts.get(status):
                 parts.append(f"{counts[status]} {status}")

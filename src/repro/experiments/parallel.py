@@ -66,6 +66,7 @@ from repro.config import SystemConfig
 from repro.core.multicore import MultiCoreResult, MultiCoreSystem
 from repro.core.system import SystemStats
 from repro.experiments import results_cache as rc
+from repro.experiments import sharding
 from repro.experiments import workloads
 from repro.experiments.manifest import RunManifest
 from repro.experiments.runner import default_config, run_variant
@@ -209,6 +210,29 @@ class GridInterrupted(KeyboardInterrupt):
         super().__init__(run_id)
         self.run_id = run_id
         self.summary = summary
+
+
+class ShardComplete(Exception):
+    """One shard of a sharded sweep finished cleanly.
+
+    A ``run_grid(shard=(I, N))`` execution owns only the cells hashing
+    to shard ``I`` — it cannot return the full grid's results, so
+    instead of handing figure code a result list full of ``None``
+    placeholders it raises this control-flow exception after
+    finalizing the shard manifest.  ``results`` still carries the
+    grid-aligned list (``None`` for cells owned by sibling shards) for
+    programmatic callers; the CLI prints the summary and the
+    ``repro merge`` next step.
+    """
+
+    def __init__(self, run_id: str, shard: tuple[int, int],
+                 summary: str, results: list):
+        super().__init__(f"shard {shard[0]}/{shard[1]} of run "
+                         f"{run_id} complete ({summary})")
+        self.run_id = run_id
+        self.shard = shard
+        self.summary = summary
+        self.results = results
 
 
 def _workload_name(wl) -> str:
@@ -414,12 +438,14 @@ class _ManifestEvents:
             self._events.emit(event, **fields)
 
     def register(self, key: str, label: str, status: str = "pending",
-                 source: str | None = None, fanout: int = 1) -> None:
+                 source: str | None = None, fanout: int = 1,
+                 shard: int | None = None) -> None:
         self._manifest.register(key, label, status=status, source=source,
-                                fanout=fanout)
-        if self._events is not None:
-            event = "cell_cached" if status == "done" else "cell_queued"
-            self._events.emit(event, key=key, label=label)
+                                fanout=fanout, shard=shard)
+        if self._events is None or status == "elsewhere":
+            return      # sibling-owned cells are the sibling's story
+        event = "cell_cached" if status == "done" else "cell_queued"
+        self._events.emit(event, key=key, label=label)
 
     def mark(self, key: str, status: str, attempts: int | None = None,
              error: str | None = None, seconds: float | None = None,
@@ -450,7 +476,8 @@ def run_grid(grid: list[Job], jobs: int = 1, use_cache: bool = True,
              run_id: str | None = None,
              manifest_dir=None,
              telemetry: "tele.TelemetryConfig | None" = None,
-             backend: str | None = None) -> list:
+             backend: str | None = None,
+             shard: tuple[int, int] | None = None) -> list:
     """Execute a grid of jobs; returns results aligned with ``grid``.
 
     ``jobs`` is the worker-process count (``<= 1`` runs in-process);
@@ -473,6 +500,19 @@ def run_grid(grid: list[Job], jobs: int = 1, use_cache: bool = True,
     parallel and serial runs are bit-identical; permanently failed
     cells are ``None`` when ``policy.allow_partial``, otherwise the
     grid raises :class:`GridError` after every other cell finished.
+
+    ``shard=(I, N)`` (default: the ambient
+    :func:`repro.experiments.sharding.active_shard`, which the CLI's
+    ``--shard`` flag installs) restricts execution to the cells whose
+    key hashes to shard ``I`` of ``N`` (pure, enumeration-order
+    independent — :func:`repro.experiments.sharding.shard_of`): sibling
+    shards' cells are recorded as ``elsewhere`` in the per-shard
+    manifest ``<run_id>.shard-I-of-N.json`` and never simulated or
+    cache-probed.  A sharded run requires the results cache (the merge
+    validates stitched results out of it) and finishes by raising
+    :class:`ShardComplete` instead of returning; ``repro merge
+    <run_id>`` stitches the shards (docs/RESILIENCE.md § Sharded
+    sweeps).
     """
     policy = policy or DEFAULT_POLICY
     total = len(grid)
@@ -480,19 +520,46 @@ def run_grid(grid: list[Job], jobs: int = 1, use_cache: bool = True,
     tele_window = tcfg.window if tcfg is not None else 0
     from repro.core.batch import resolve_backend
     backend = resolve_backend(backend)
+    shard = shard if shard is not None else sharding.active_shard()
+    if shard is not None:
+        sharding.validate_shard(shard)
+        if not use_cache:
+            raise ValueError("sharded runs require the results cache "
+                             "(repro merge validates shard results "
+                             "out of it); drop --no-cache")
     if cache is None and use_cache:
         cache = rc.ResultsCache()
+
+    raw_manifest = RunManifest.open(run_id, manifest_dir, shard=shard)
+    # The shard fault site/attempt are fixed before any work: attempt
+    # counts shard executions (resumes + 1), so an injected shard loss
+    # or duplicate claim hits the first run and its --resume re-run
+    # deterministically survives.
+    claimed = None
+    if shard is not None:
+        site = sharding.shard_site(raw_manifest.run_id, shard)
+        shard_attempt = raw_manifest.data.get("resumes", 0) + 1
+        claimed = {shard[0]}
+        if faults.shard_duplicates(site, shard_attempt):
+            claimed.add((shard[0] + 1) % shard[1])
+
     payloads: dict[str, dict] = {}          # key -> payload
     keys: list[str] = []                    # per-cell key, grid order
-    cell_sources: list[str] = []            # per-cell "run"/"cache"/"dedup"
+    cell_sources: list[str] = []    # "run"/"cache"/"dedup"/"elsewhere"
     pending: dict[str, dict] = {}           # key -> spec (first wins)
     owners: dict[str, str] = {}             # key -> owning cell's label
     quarantined: list[tuple[str, str]] = []  # (key, label) during scan
+    shard_owner: dict[str, int] = {}        # key -> owning shard index
     done = 0
 
     for job in grid:
         spec, key = _job_spec(job, tele_window, backend)
         keys.append(key)
+        if shard is not None:
+            shard_owner[key] = sharding.shard_of(key, shard[1])
+            if shard_owner[key] not in claimed:
+                cell_sources.append("elsewhere")
+                continue
         if key in payloads or key in pending:
             cell_sources.append("dedup")
             continue
@@ -509,28 +576,40 @@ def run_grid(grid: list[Job], jobs: int = 1, use_cache: bool = True,
         owners[key] = job.label         # each cell registers its own label
         cell_sources.append("run")
 
-    raw_manifest = RunManifest.open(run_id, manifest_dir)
     events: tele_events.EventLog | None = None
-    tele_ctx: tuple[str, str] | None = None
+    tele_ctx: tuple | None = None
     if tcfg is not None and tcfg.directory is not None:
-        events = tele_events.EventLog(tcfg.directory, raw_manifest.run_id)
-        tele_ctx = (str(tcfg.directory), raw_manifest.run_id)
+        events = tele_events.EventLog(tcfg.directory,
+                                      raw_manifest.run_id, shard=shard)
+        tele_ctx = (str(tcfg.directory), raw_manifest.run_id, shard)
     manifest = _ManifestEvents(raw_manifest, events)
     if events is not None:
         events.emit("grid_started", total_cells=total,
                     unique_cells=len(pending), jobs=jobs,
                     window=tele_window)
+        if shard is not None:
+            events.emit("shard_started", shard=shard[0],
+                        shard_count=shard[1], cells=len(pending))
         for key, label in quarantined:
             events.emit("cell_quarantined", key=key, label=label)
     fanout: dict[str, int] = {}
     for key in keys:
         fanout[key] = fanout.get(key, 0) + 1
+    registered_elsewhere: set[str] = set()
     for job, key, source in zip(grid, keys, cell_sources):
         if source == "run":
-            manifest.register(key, job.label, fanout=fanout[key])
+            manifest.register(key, job.label, fanout=fanout[key],
+                              shard=shard_owner.get(key))
         elif source == "cache":
             manifest.register(key, job.label, status="done",
-                              source="cache", fanout=fanout[key])
+                              source="cache", fanout=fanout[key],
+                              shard=shard_owner.get(key))
+        elif source == "elsewhere":
+            if key not in registered_elsewhere:
+                registered_elsewhere.add(key)
+                manifest.register(key, job.label, status="elsewhere",
+                                  fanout=fanout[key],
+                                  shard=shard_owner[key])
         elif events is not None:        # dedup'd onto an earlier cell
             events.emit("cell_dedup", key=key, label=job.label)
     manifest.save()
@@ -556,6 +635,11 @@ def run_grid(grid: list[Job], jobs: int = 1, use_cache: bool = True,
         tele_events.worker_init(tele_ctx)
     try:
         try:
+            if shard is not None:
+                # Simulated host death: the shard manifest is already
+                # checkpointed (status "running"), so the merge step
+                # detects the loss and a --resume re-run survives.
+                faults.inject_shard_loss(site, shard_attempt)
             if pending:
                 if jobs > 1 and len(pending) > 1:
                     _run_parallel(pending, payloads, jobs, report, owners,
@@ -591,8 +675,12 @@ def run_grid(grid: list[Job], jobs: int = 1, use_cache: bool = True,
                     run_id=manifest.run_id)
         else:
             manifest.finalize("complete")
-        return [_materialize(payloads[key]) if key in payloads else None
-                for key in keys]
+        results = [_materialize(payloads[key]) if key in payloads
+                   else None for key in keys]
+        if shard is not None:
+            raise ShardComplete(manifest.run_id, shard,
+                                manifest.summary(), results)
+        return results
     finally:
         if tele_ctx is not None:
             tele_events.worker_init(None)

@@ -157,12 +157,20 @@ class ResultsCache:
     def quarantine_dir(self) -> Path:
         return self.root / "quarantine"
 
-    def _tmp_files(self):
+    def _glob(self, pattern: str) -> list[Path]:
+        """Snapshot a glob, tolerating a concurrent supervisor pruning
+        or ``clear()``-ing directories mid-scan: a subdirectory that
+        vanishes between listing and descent is simply not there any
+        more — not an error."""
+        try:
+            return list(self.root.glob(pattern))
+        except OSError:
+            return []
+
+    def _tmp_files(self) -> list[Path]:
         """Stray ``<key>.json.tmp.<pid>`` files from in-flight or
         crashed writers."""
-        if not self.root.is_dir():
-            return
-        yield from self.root.glob("[0-9a-f][0-9a-f]/*.json.tmp.*")
+        return self._glob("[0-9a-f][0-9a-f]/*.json.tmp.*")
 
     def sweep_stale_tmp(self,
                         max_age: float = STALE_TMP_AGE_SECONDS) -> int:
@@ -171,7 +179,7 @@ class ResultsCache:
         and are left alone."""
         removed = 0
         now = time.time()
-        for tmp in list(self._tmp_files()):
+        for tmp in self._tmp_files():
             try:
                 if now - tmp.stat().st_mtime >= max_age:
                     tmp.unlink()
@@ -250,19 +258,28 @@ class ResultsCache:
 
     def put(self, key: str, payload: dict) -> None:
         """Store a payload atomically (temp file + rename) inside a
-        checksummed envelope."""
+        checksummed envelope.  A concurrent supervisor ``clear()``-ing
+        the store can rmtree the entry directory between the mkdir and
+        the write/rename — transient by construction, so the write is
+        retried on a freshly recreated directory."""
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
         entry = {"v": ENVELOPE_VERSION, "sha": payload_checksum(payload),
                  "payload": payload}
         tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
-        try:
-            with open(tmp, "w", encoding="utf-8") as fh:
-                json.dump(entry, fh, separators=(",", ":"))
-            os.replace(tmp, path)
-        except BaseException:
-            tmp.unlink(missing_ok=True)
-            raise
+        for attempt in range(5):
+            path.parent.mkdir(parents=True, exist_ok=True)
+            try:
+                with open(tmp, "w", encoding="utf-8") as fh:
+                    json.dump(entry, fh, separators=(",", ":"))
+                os.replace(tmp, path)
+                break
+            except FileNotFoundError:
+                tmp.unlink(missing_ok=True)
+                if attempt == 4:
+                    raise
+            except BaseException:
+                tmp.unlink(missing_ok=True)
+                raise
         self.stores += 1
         if faults.active_plan() is not None:
             seq = self._write_seq[key] = self._write_seq.get(key, 0) + 1
@@ -271,18 +288,17 @@ class ResultsCache:
     def clear(self) -> int:
         """Delete the whole store — committed entries, stray temp files
         and the quarantine; returns committed entries + temp files
-        removed."""
+        removed.  Safe against a concurrent supervisor clearing or
+        writing the same root: files that vanish mid-walk are treated
+        as already gone (``ignore_errors``), never as an exception."""
         removed = 0
         if self.root.is_dir():
-            removed = sum(1 for _ in self.root.glob("*/*.json"))
-            removed += sum(1 for _ in self._tmp_files())
-            shutil.rmtree(self.root)
+            removed = len(self._glob("*/*.json"))
+            removed += len(self._tmp_files())
+            shutil.rmtree(self.root, ignore_errors=True)
         return removed
 
     def __len__(self) -> int:
         """Files the store currently owns: committed entries plus stray
         temp files (quarantined files are not counted — they are dead)."""
-        if not self.root.is_dir():
-            return 0
-        return (sum(1 for _ in self.root.glob("*/*.json"))
-                + sum(1 for _ in self._tmp_files()))
+        return len(self._glob("*/*.json")) + len(self._tmp_files())

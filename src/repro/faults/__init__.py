@@ -34,6 +34,17 @@ Fault kinds
     A just-written results-cache entry or trace-store file is
     truncated, simulating a writer that died mid-write (detected by
     the trace store's header/size validation).
+``shard_loss``
+    A sharded ``run_grid`` supervisor aborts right after checkpointing
+    its shard manifest (status ``running``), simulating a host that
+    died mid-sweep — ``repro merge`` must detect the lost shard, and a
+    re-run of that shard (``attempt`` = manifest resumes + 1) survives
+    and completes the merge.
+``duplicate_shard``
+    A sharded supervisor also claims the next shard's cells
+    (``(I+1) mod N``), simulating a mispartitioned host; the merge's
+    overlap detection must refuse to stitch, and a re-run of the
+    offending shard repairs its manifest.
 
 Plan specs
 ----------
@@ -74,14 +85,18 @@ DEFAULT_HANG_SECONDS = 600.0
 
 DEFAULT_SLOW_SECONDS = 0.05
 
-KINDS = ("crash", "hang", "slow", "exc", "corrupt", "truncate")
+KINDS = ("crash", "hang", "slow", "exc", "corrupt", "truncate",
+         "shard_loss", "duplicate_shard")
 
 #: Fault kinds applied at cell-execution time (by the engine) versus at
 #: artifact-write time — results-cache entries
 #: (:class:`repro.experiments.results_cache.ResultsCache`) and
-#: trace-store files (:func:`repro.experiments.workloads.workload_trace`).
+#: trace-store files (:func:`repro.experiments.workloads.workload_trace`)
+#: — versus at shard-supervision time
+#: (:func:`repro.experiments.parallel.run_grid` with ``shard=``).
 EXECUTION_KINDS = ("crash", "hang", "slow", "exc")
 CACHE_KINDS = ("corrupt", "truncate")
+SHARD_KINDS = ("shard_loss", "duplicate_shard")
 
 
 class FaultInjected(RuntimeError):
@@ -234,6 +249,31 @@ def inject_execution(site: str, attempt: int = 1) -> None:
     if plan.fires("exc", site, attempt):
         raise FaultInjected(f"injected transient fault at {site[:12]} "
                             f"(attempt {attempt})")
+
+
+def inject_shard_loss(site: str, attempt: int = 1) -> None:
+    """Abort a sharded supervisor right after its manifest checkpoint.
+
+    ``site`` is :func:`repro.experiments.sharding.shard_site` — pure in
+    (run_id, index, count) — and ``attempt`` is the shard manifest's
+    resume count + 1, so with the default ``max_attempt=1`` the first
+    run of the shard is lost (manifest left ``running``, merge refuses
+    it) and its ``--resume`` re-run deterministically survives.  No-op
+    without an active plan.
+    """
+    plan = active_plan()
+    if plan is not None and plan.fires("shard_loss", site, attempt):
+        raise FaultInjected(f"injected shard loss at {site} "
+                            f"(attempt {attempt})")
+
+
+def shard_duplicates(site: str, attempt: int = 1) -> bool:
+    """Whether a ``duplicate_shard`` fault makes this supervisor also
+    claim its sibling's cells (same decision scheme as
+    :func:`inject_shard_loss`); False without an active plan."""
+    plan = active_plan()
+    return (plan is not None
+            and plan.fires("duplicate_shard", site, attempt))
 
 
 def _mangle_file(path, site: str, write_seq: int) -> bool:

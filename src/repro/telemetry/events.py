@@ -31,6 +31,7 @@ from pathlib import Path
 #: Every event name the schema admits (see telemetry.schema).
 EVENT_NAMES = (
     "grid_started", "grid_finished",
+    "shard_started", "shard_merged",
     "cell_queued", "cell_started", "cell_retried", "cell_requeued",
     "cell_failed", "cell_done", "cell_cached", "cell_dedup",
     "cell_quarantined",
@@ -39,22 +40,44 @@ EVENT_NAMES = (
 )
 
 
-def events_path(directory, run_id: str) -> Path:
-    return Path(directory) / f"events-{run_id}.jsonl"
+def file_run_id(run_id: str, shard: tuple[int, int] | None = None) -> str:
+    """File-name identity of one supervisor's log: the run id, shard-
+    qualified for sharded sweeps so N hosts sharing one telemetry
+    directory never append to the same file."""
+    if shard is None:
+        return run_id
+    return f"{run_id}.shard-{shard[0]}-of-{shard[1]}"
 
 
-def shard_path(directory, run_id: str, pid: int) -> Path:
-    return Path(directory) / f"events-{run_id}.w{pid}.jsonl"
+def events_path(directory, run_id: str,
+                shard: tuple[int, int] | None = None) -> Path:
+    return Path(directory) / f"events-{file_run_id(run_id, shard)}.jsonl"
+
+
+def shard_path(directory, run_id: str, pid: int,
+               shard: tuple[int, int] | None = None) -> Path:
+    """Per-worker-process event file (a *worker shard* — one writer
+    per file; unrelated to grid sharding, which is the ``shard``
+    tuple)."""
+    return Path(directory) / (f"events-{file_run_id(run_id, shard)}"
+                              f".w{pid}.jsonl")
 
 
 class EventLog:
-    """Append-only JSONL writer bound to one (directory, run_id)."""
+    """Append-only JSONL writer bound to one (directory, run_id).
 
-    def __init__(self, directory, run_id: str, path: Path | None = None):
+    ``shard=(I, N)`` binds the log to one grid shard: records gain a
+    ``shard`` field (Perfetto lane grouping keys off it) and default
+    paths carry the ``.shard-I-of-N`` infix.
+    """
+
+    def __init__(self, directory, run_id: str, path: Path | None = None,
+                 shard: tuple[int, int] | None = None):
         self.run_id = run_id
         self.directory = Path(directory)
+        self.shard = shard
         self.path = path if path is not None \
-            else events_path(directory, run_id)
+            else events_path(directory, run_id, shard)
         self._fh = None
         self.emitted = 0
 
@@ -67,6 +90,8 @@ class EventLog:
     def emit(self, event: str, **fields) -> None:
         record = {"ts": time.time(), "run_id": self.run_id,
                   "pid": os.getpid(), "event": event}
+        if self.shard is not None:
+            record["shard"] = self.shard[0]
         record.update(fields)
         fh = self._file()
         fh.write(json.dumps(record, separators=(",", ":")) + "\n")
@@ -89,7 +114,7 @@ class EventLog:
         """
         records = []
         shards = sorted(self.directory.glob(
-            f"events-{self.run_id}.w*.jsonl"))
+            f"events-{file_run_id(self.run_id, self.shard)}.w*.jsonl"))
         for shard in shards:
             try:
                 text = shard.read_text(encoding="utf-8")
@@ -124,6 +149,50 @@ class EventLog:
         return len(records)
 
 
+def merge_shard_logs(directory, run_id: str) -> int:
+    """Fold per-grid-shard event logs (``events-<run_id>.shard-*-of-*
+    .jsonl``) into the main ``events-<run_id>.jsonl``, globally sorted
+    by timestamp; returns the number of records folded in.  Folded
+    shard logs are removed so a re-merge never duplicates records.
+    Called by ``repro merge`` after a sharded sweep's manifests are
+    validated and stitched (docs/RESILIENCE.md § Sharded sweeps)."""
+    directory = Path(directory)
+    main_path = events_path(directory, run_id)
+    shard_logs = [p for p in
+                  sorted(directory.glob(f"events-{run_id}.shard-*.jsonl"))
+                  if ".w" not in p.name[len(f"events-{run_id}"):]]
+    records = []
+    for log in shard_logs:
+        try:
+            text = log.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        for line in text.splitlines():
+            try:
+                records.append(json.loads(line))
+            except ValueError:
+                continue        # torn line from a killed supervisor
+    if records:
+        try:
+            main = [json.loads(line) for line in
+                    main_path.read_text(encoding="utf-8").splitlines()]
+        except (OSError, ValueError):
+            main = []
+        main.extend(records)
+        main.sort(key=lambda r: r.get("ts", 0.0))
+        tmp = main_path.with_name(f"{main_path.name}.tmp.{os.getpid()}")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for r in main:
+                fh.write(json.dumps(r, separators=(",", ":")) + "\n")
+        os.replace(tmp, main_path)
+    for log in shard_logs:
+        try:
+            log.unlink()
+        except OSError:
+            pass
+    return len(records)
+
+
 def read_events(path) -> list[dict]:
     """Parse a JSONL event log; raises on unreadable files, skips
     nothing (a malformed line is a real error for consumers)."""
@@ -147,6 +216,8 @@ def latest_run_id(directory) -> str | None:
         stem = p.name[len("events-"):-len(".jsonl")]
         if ".w" in stem:        # worker shard, not a main log
             continue
+        if ".shard-" in stem:   # per-grid-shard log, merged separately
+            continue
         try:
             mtime = p.stat().st_mtime
         except OSError:
@@ -161,21 +232,23 @@ def latest_run_id(directory) -> str | None:
 _worker_log: EventLog | None = None
 
 
-def worker_init(ctx: tuple[str, str] | None) -> None:
+def worker_init(ctx: tuple | None) -> None:
     """Pool-initializer half: arm per-worker event emission.
 
-    ``ctx`` is ``(telemetry_dir, run_id)`` or None.  Each worker
-    writes to its own pid-named shard, so concurrent workers never
-    share a file handle.
+    ``ctx`` is ``(telemetry_dir, run_id)`` or
+    ``(telemetry_dir, run_id, grid_shard)`` or None.  Each worker
+    writes to its own pid-named shard file, so concurrent workers
+    never share a file handle.
     """
     global _worker_log
     if ctx is None:
         _worker_log = None
         return
-    directory, run_id = ctx
-    _worker_log = EventLog(directory, run_id,
+    directory, run_id = ctx[0], ctx[1]
+    shard = ctx[2] if len(ctx) > 2 else None
+    _worker_log = EventLog(directory, run_id, shard=shard,
                            path=shard_path(directory, run_id,
-                                           os.getpid()))
+                                           os.getpid(), shard))
 
 
 def worker_emit(event: str, **fields) -> None:

@@ -31,6 +31,8 @@ from repro.telemetry.events import EVENT_NAMES, read_events
 EVENT_REQUIRED_FIELDS = {
     "grid_started": ("total_cells",),
     "grid_finished": ("status",),
+    "shard_started": ("shard", "shard_count", "cells"),
+    "shard_merged": ("shard", "shard_count", "cells"),
     "cell_queued": ("key", "label"),
     "cell_started": ("key", "label", "attempt"),
     "cell_retried": ("key", "label", "attempt", "error"),

@@ -75,59 +75,83 @@ def trace_from_events(records: list[dict]) -> dict:
         if "label" in r and "key" in r:
             labels.setdefault(r["key"], r["label"])
 
-    events: list[dict] = []
-    pids: dict[int, str] = {}
-    supervisor_pid = next((r["pid"] for r in records
-                           if r["event"] == "grid_started"),
-                          records[0]["pid"])
-    pids[supervisor_pid] = "supervisor"
+    # Lane identity is (grid shard, pid): a merged multi-shard log
+    # shows one lane *group* per shard (shard-prefixed lane names,
+    # disjoint display-pid ranges), and two hosts that happened to
+    # reuse an OS pid never share a lane.
+    supervisor_pids = {r["pid"] for r in records
+                       if r["event"] == "grid_started"}
+    if not supervisor_pids:
+        supervisor_pids = {records[0]["pid"]}
 
-    open_exec: dict[tuple, dict] = {}   # (pid, key, attempt) -> start
+    def lane(r: dict) -> int:
+        shard = r.get("shard")
+        pid = r["pid"]
+        return pid if shard is None else (shard + 1) * 10_000_000 + pid
+
+    lanes: dict[int, str] = {}
+
+    def lane_of(r: dict) -> int:
+        shard, pid = r.get("shard"), r["pid"]
+        display = lane(r)
+        role = "supervisor" if pid in supervisor_pids \
+            else f"worker {pid}"
+        name = role if shard is None else f"shard {shard} · {role}"
+        lanes.setdefault(display, name)
+        return display
+
+    events: list[dict] = []
+    open_exec: dict[tuple, dict] = {}   # (lane, key, attempt) -> start
     have_exec_spans = False
     for r in records:
-        ev, pid, ts = r["event"], r["pid"], r["ts"]
+        ev, ts = r["event"], r["ts"]
         if ev == "cell_exec_started":
-            open_exec[(pid, r["key"], r["attempt"])] = r
-            pids.setdefault(pid, f"worker {pid}")
+            open_exec[(lane_of(r), r["key"], r["attempt"])] = r
         elif ev == "cell_exec_finished":
-            start = open_exec.pop((pid, r["key"], r["attempt"]), None)
+            display = lane_of(r)
+            start = open_exec.pop((display, r["key"], r["attempt"]),
+                                  None)
             start_ts = start["ts"] if start is not None \
                 else ts - r.get("seconds", 0.0)
             attempt = r["attempt"]
             cat = ("failed" if not r.get("ok", True)
                    else "retry" if attempt > 1 else "run")
-            pids.setdefault(pid, f"worker {pid}")
             events.append(_span(
                 labels.get(r["key"], r["key"][:12]), cat, us(start_ts),
-                us(ts) - us(start_ts), pid, pid,
+                us(ts) - us(start_ts), display, r["pid"],
                 key=r["key"], attempt=attempt, ok=r.get("ok", True)))
             have_exec_spans = True
         elif ev in ("cell_cached", "cell_dedup"):
             cat = "cache" if ev == "cell_cached" else "dedup"
             events.append(_span(
                 r.get("label", r.get("key", "?")), cat, us(ts),
-                MIN_DUR_US, supervisor_pid, SUPERVISOR_TID,
+                MIN_DUR_US, lane_of(r), SUPERVISOR_TID,
                 key=r.get("key"), source=cat))
         elif ev == "cell_quarantined":
             events.append(_instant(
                 f"quarantined {r.get('label', '?')}", "quarantine",
-                us(ts), supervisor_pid, SUPERVISOR_TID,
+                us(ts), lane_of(r), SUPERVISOR_TID,
                 key=r.get("key")))
         elif ev in ("pool_rebuilt", "degraded_serial"):
             events.append(_instant(ev, "engine", us(ts),
-                                   supervisor_pid, SUPERVISOR_TID,
+                                   lane_of(r), SUPERVISOR_TID,
                                    rebuilds=r.get("rebuilds")))
-        elif ev in ("grid_started", "grid_finished"):
+        elif ev in ("grid_started", "grid_finished",
+                    "shard_started", "shard_merged"):
+            args = {}
+            if "shard" in r:
+                args["shard"] = r.get("shard")
+                args["shard_count"] = r.get("shard_count")
             events.append(_instant(ev, "engine", us(ts),
-                                   supervisor_pid, SUPERVISOR_TID))
+                                   lane_of(r), SUPERVISOR_TID, **args))
     # A worker killed mid-cell leaves an unmatched exec_started: render
     # it as a failed span ending at the log's last timestamp.
     t_end = max(r["ts"] for r in records)
-    for (pid, key, attempt), start in open_exec.items():
+    for (display, key, attempt), start in open_exec.items():
         events.append(_span(labels.get(key, key[:12]), "failed",
                             us(start["ts"]), us(t_end) - us(start["ts"]),
-                            pid, pid, key=key, attempt=attempt,
-                            ok=False, truncated=True))
+                            display, start["pid"], key=key,
+                            attempt=attempt, ok=False, truncated=True))
     if not have_exec_spans:
         # Old/minimal logs: fall back to supervisor started->done pairs.
         started: dict[str, dict] = {}
@@ -143,13 +167,14 @@ def trace_from_events(records: list[dict]) -> dict:
                        "cell_retried": "retry"}[r["event"]]
                 events.append(_span(
                     r.get("label", r["key"][:12]), cat, us(s["ts"]),
-                    us(r["ts"]) - us(s["ts"]), supervisor_pid,
+                    us(r["ts"]) - us(s["ts"]), lane_of(s),
                     SUPERVISOR_TID, key=r["key"],
                     attempt=r.get("attempt")))
     meta: list[dict] = []
-    for i, (pid, name) in enumerate(sorted(pids.items())):
-        meta.extend(_meta(pid, name, sort_index=0 if pid ==
-                          supervisor_pid else i + 1))
+    for i, (display, name) in enumerate(sorted(lanes.items())):
+        meta.extend(_meta(display, name,
+                          sort_index=0 if name == "supervisor"
+                          else i + 1))
     return {"traceEvents": meta + events, "displayTimeUnit": "ms",
             "otherData": {"run_id": run_id, "source": "event-log"}}
 

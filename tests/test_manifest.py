@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import json
+import os
 
 import pytest
 
@@ -123,8 +124,68 @@ def test_prune_caps_manifest_count(runs, monkeypatch):
     for i in range(8):
         m = RunManifest.open(directory=runs)
         m.path = runs / f"run-{i:03d}.json"   # deterministic names
-        m.save()
+        m.finalize("complete")                # finalized => prunable
+        os.utime(m.path, (1000 + i, 1000 + i))
     survivors = sorted(p.name for p in runs.glob("*.json"))
     assert len(survivors) == 5
     assert survivors[-1] == "run-007.json"
     assert "run-000.json" not in survivors
+
+
+def test_prune_spares_live_and_resumable_manifests(runs, monkeypatch):
+    monkeypatch.setattr(mod, "MAX_MANIFESTS", 2)
+    statuses = ("running", "interrupted", "complete", "failed",
+                "complete")
+    for i, status in enumerate(statuses):
+        m = RunManifest.open(directory=runs)
+        m.path = runs / f"run-{i:03d}.json"
+        if status == "running":
+            m.save()
+        else:
+            m.finalize(status)
+        os.utime(m.path, (1000 + i, 1000 + i))
+    RunManifest._prune(runs)
+    survivors = sorted(p.name for p in runs.glob("*.json"))
+    # Only cleanly finalized runs are reclaimed; a concurrent
+    # supervisor's live sweep and resume state survive any cap.
+    assert survivors == ["run-000.json", "run-001.json"]
+
+
+def test_latest_and_prune_tolerate_vanished_files(runs):
+    m = RunManifest.open("keep", runs)
+    m.save()
+    # A broken symlink stats like a file a sibling pruned between the
+    # glob and the stat — the exact TOCTOU race, minus the timing.
+    (runs / "ghost.json").symlink_to(runs / "nope.json")
+    assert RunManifest.latest(runs).run_id == "keep"
+    RunManifest._prune(runs)        # must not raise
+    assert (runs / "keep.json").exists()
+
+
+def test_latest_skips_shard_manifests(runs):
+    m = RunManifest.open("base", runs)
+    m.save()
+    s = RunManifest.open("sharded", runs, shard=(0, 2))
+    s.save()
+    os.utime(m.path, (1000, 1000))
+    os.utime(s.path, (2000, 2000))  # shard manifest is newer...
+    assert RunManifest.latest(runs).run_id == "base"
+
+
+def test_open_with_shard_names_per_shard_manifest(runs):
+    m = RunManifest.open("sh", runs, shard=(1, 4))
+    m.save()
+    assert m.path.name == "sh.shard-1-of-4.json"
+    assert m.data["shard"] == {"index": 1, "count": 4}
+    again = RunManifest.open("sh", runs, shard=(1, 4))
+    assert again.data["resumes"] == 1
+
+
+def test_summary_reports_sibling_shard_cells(runs):
+    m = RunManifest.open("sib", runs, shard=(0, 2))
+    m.register("k1", "a", status="done", source="run", shard=0)
+    m.register("k2", "b", status="elsewhere", shard=1)
+    s = m.summary()
+    assert "1/1 unique cells done" in s
+    assert "1 owned by sibling shards" in s
+    assert m.cells["k2"]["shard"] == 1
