@@ -331,6 +331,72 @@ def _merge_telemetry(telemetry_dir, run_id: str, count: int,
     return merged
 
 
+# -- watch: poll until a shard set is whole ---------------------------------
+
+def shards_status(run_id: str, directory: Path | None = None
+                  ) -> tuple[bool, str]:
+    """Whether every shard of ``run_id`` has reported complete.
+
+    Returns ``(ready, summary)``: ``ready`` is True exactly when a
+    consistent shard set exists (all manifests agree on ``N``, every
+    index ``0..N-1`` present, every manifest finalized ``complete``) —
+    the precondition :func:`merge_shards` validates in full.  The
+    summary names what is still missing, for progress display.
+    """
+    entries = list_shard_manifests(run_id, directory)
+    if not entries:
+        return False, "no shard manifests yet"
+    counts = sorted({count for _, _, count in entries})
+    if len(counts) > 1:
+        return False, ("shard counts disagree ("
+                       + ", ".join(f"N={c}" for c in counts) + ")")
+    count = counts[0]
+    status: dict[int, str] = {}
+    for path, index, _ in entries:
+        data = _load_manifest_data(path)
+        status[index] = (data or {}).get("status", "unreadable")
+    missing = sorted(set(range(count)) - set(status))
+    incomplete = sorted(i for i, s in status.items() if s != "complete")
+    if not missing and not incomplete:
+        return True, f"all {count} shard(s) complete"
+    parts = [f"{len(status)}/{count} shard manifest(s) present"]
+    if missing:
+        parts.append("missing: " + ", ".join(map(str, missing)))
+    if incomplete:
+        parts.append("incomplete: "
+                     + ", ".join(f"{i} ({status[i]})"
+                                 for i in incomplete))
+    return False, "; ".join(parts)
+
+
+def wait_for_shards(run_id: str, directory: Path | None = None,
+                    poll: float = 2.0, timeout: float | None = None,
+                    on_poll=None) -> str:
+    """Block until every shard of ``run_id`` reports complete.
+
+    Polls :func:`shards_status` every ``poll`` seconds (the merge's
+    ``--watch`` mode, and the wait step of a :mod:`repro.service`
+    merge job).  ``on_poll(ready, summary)`` is invoked after each
+    probe for progress display.  Returns the final summary; raises
+    :class:`TimeoutError` when ``timeout`` seconds elapse first —
+    carrying the last summary, so the caller can print exactly which
+    shard never arrived.
+    """
+    import time as _time
+    deadline = None if timeout is None else _time.monotonic() + timeout
+    while True:
+        ready, summary = shards_status(run_id, directory)
+        if on_poll is not None:
+            on_poll(ready, summary)
+        if ready:
+            return summary
+        if deadline is not None and _time.monotonic() >= deadline:
+            raise TimeoutError(
+                f"shards of run {run_id} not complete after "
+                f"{timeout:g}s ({summary})")
+        _time.sleep(poll)
+
+
 # -- ambient activation (CLI) ----------------------------------------------
 
 _active_shard: tuple[int, int] | None = None

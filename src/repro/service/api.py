@@ -1,0 +1,211 @@
+"""stdlib HTTP/JSON front-end for the service orchestrator.
+
+No framework, no new dependencies: a ``ThreadingHTTPServer`` whose
+handler threads call into the (thread-safe) :class:`~repro.service.
+orchestrator.Orchestrator`.  Routes (bodies are the typed schemas of
+:mod:`repro.service.schemas`; see docs/SERVICE.md for examples)::
+
+    GET  /healthz               -> 200 Health
+    POST /jobs                  -> 201 SubmitResponse
+                                   400 ErrorResponse   (validation)
+                                   429 ErrorResponse   (+ Retry-After)
+                                   503 ErrorResponse   (draining)
+    GET  /jobs                  -> 200 {"jobs": [JobStatus...]}
+    GET  /jobs/<id>             -> 200 JobStatus | 404
+    GET  /jobs/<id>/results     -> 200 JSONL CellResult feed; with
+                                   ``?follow=1`` the response streams —
+                                   lines are written as cells settle
+                                   until the job is terminal (HTTP/1.0
+                                   close-delimited, so plain clients
+                                   just read to EOF)
+    POST /jobs/<id>/cancel      -> 200 JobStatus | 404
+    POST /drain                 -> 202 {"status": "draining"}
+
+The server binds ``config.host:config.port`` (port 0 = ephemeral; the
+bound port is in ``server.server_address``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.service import schemas
+from repro.service.orchestrator import (Draining, Orchestrator,
+                                        QueueFull, UnknownJob)
+from repro.service.schemas import ErrorResponse, JobRequest, dumps
+
+#: Cap on request bodies — a JobRequest is tiny; anything larger is
+#: malformed or hostile.
+MAX_BODY_BYTES = 1 << 20
+
+#: Poll period of a ``?follow=1`` results stream.
+FOLLOW_POLL_SECONDS = 0.2
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """One request; ``self.server.orchestrator`` is the shared state."""
+
+    server_version = "repro-service/1"
+    protocol_version = "HTTP/1.0"       # close-delimited streaming
+
+    # -- plumbing ----------------------------------------------------------
+
+    @property
+    def orc(self) -> Orchestrator:
+        return self.server.orchestrator
+
+    def log_message(self, format, *args):        # noqa: A002
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    def _send(self, code: int, obj, headers: dict | None = None) -> None:
+        body = dumps(obj)
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for k, v in (headers or {}).items():
+            self.send_header(k, v)
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, error: str, detail=(),
+               retry_after: float | None = None) -> None:
+        headers = {}
+        if retry_after is not None:
+            headers["Retry-After"] = str(int(retry_after) or 1)
+        self._send(code, ErrorResponse(error=error,
+                                       detail=list(detail),
+                                       retry_after=retry_after),
+                   headers)
+
+    def _read_body(self):
+        length = int(self.headers.get("Content-Length") or 0)
+        if length > MAX_BODY_BYTES:
+            self._error(413, "request body too large")
+            return None
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            return {}
+        try:
+            return json.loads(raw)
+        except ValueError as exc:
+            self._error(400, "request body is not valid JSON",
+                        [str(exc)])
+            return None
+
+    # -- routes ------------------------------------------------------------
+
+    def do_GET(self) -> None:       # noqa: N802
+        path, _, query = self.path.partition("?")
+        parts = [p for p in path.split("/") if p]
+        try:
+            if parts == ["healthz"]:
+                self._send(200, self.orc.health())
+            elif parts == ["jobs"]:
+                self._send(200, {"jobs": [s.to_dict() for s in
+                                          self.orc.list_jobs()]})
+            elif len(parts) == 2 and parts[0] == "jobs":
+                self._send(200, self.orc.status(parts[1]))
+            elif (len(parts) == 3 and parts[0] == "jobs"
+                    and parts[2] == "results"):
+                self._results(parts[1], "follow=1" in query)
+            else:
+                self._error(404, f"no such route: GET {path}")
+        except UnknownJob as exc:
+            self._error(404, f"no such job: {exc.args[0]}")
+
+    def do_POST(self) -> None:      # noqa: N802
+        path = self.path.partition("?")[0]
+        parts = [p for p in path.split("/") if p]
+        try:
+            if parts == ["jobs"]:
+                self._submit()
+            elif (len(parts) == 3 and parts[0] == "jobs"
+                    and parts[2] == "cancel"):
+                self._send(200, self.orc.cancel(parts[1]))
+            elif parts == ["drain"]:
+                self.orc.request_drain()
+                self._send(202, {"status": "draining"})
+            else:
+                self._error(404, f"no such route: POST {path}")
+        except UnknownJob as exc:
+            self._error(404, f"no such job: {exc.args[0]}")
+
+    def _submit(self) -> None:
+        body = self._read_body()
+        if body is None:
+            return
+        errors = schemas.validate_job_request(body)
+        if errors:
+            self._error(400, "invalid job request", errors)
+            return
+        try:
+            resp = self.orc.submit(JobRequest.from_dict(body))
+        except QueueFull as exc:
+            self._error(429, str(exc), retry_after=exc.retry_after)
+            return
+        except Draining as exc:
+            self._error(503, str(exc))
+            return
+        except ValueError as exc:
+            self._error(400, "invalid job request", [str(exc)])
+            return
+        self._send(201, resp)
+
+    def _results(self, job_id: str, follow: bool) -> None:
+        status = self.orc.status(job_id)        # raises UnknownJob
+        feed = self.orc.feed_path(job_id)
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        self.end_headers()
+        offset = 0
+        while True:
+            try:
+                with open(feed, "rb") as fh:
+                    fh.seek(offset)
+                    chunk = fh.read()
+            except OSError:
+                chunk = b""
+            if chunk:
+                # Only forward whole lines; a partially flushed tail
+                # is picked up on the next poll.
+                cut = chunk.rfind(b"\n") + 1
+                if cut:
+                    self.wfile.write(chunk[:cut])
+                    self.wfile.flush()
+                    offset += cut
+            if not follow:
+                return
+            if status.state in schemas.TERMINAL_JOB_STATES \
+                    and not chunk:
+                return
+            time.sleep(FOLLOW_POLL_SECONDS)
+            status = self.orc.status(job_id)
+
+
+def create_server(orc: Orchestrator, verbose: bool = False
+                  ) -> ThreadingHTTPServer:
+    """Bind the API server (without serving yet) and attach it to the
+    orchestrator so :meth:`Orchestrator.run`'s drain can stop it."""
+    server = ThreadingHTTPServer(
+        (orc.config.host, orc.config.port), ServiceHandler)
+    server.daemon_threads = True
+    server.orchestrator = orc
+    server.verbose = verbose
+    orc._http = server
+    return server
+
+
+def serve_in_thread(orc: Orchestrator, verbose: bool = False
+                    ) -> tuple[ThreadingHTTPServer, threading.Thread]:
+    """Start the API server on a daemon thread; returns it with its
+    thread.  ``server.server_address[1]`` is the bound port."""
+    server = create_server(orc, verbose)
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.1},
+                              name="repro-service-http", daemon=True)
+    thread.start()
+    return server, thread

@@ -1,0 +1,134 @@
+"""urllib client for the ``repro.service`` HTTP API.
+
+Typed, stdlib-only (mirrors the server: no new dependencies).  Every
+method returns the schema objects of :mod:`repro.service.schemas`;
+HTTP errors surface as :class:`ServiceError` carrying the status code
+and the server's :class:`~repro.service.schemas.ErrorResponse` body,
+with 429 backpressure honoured transparently by
+:meth:`ServiceClient.submit` (bounded ``Retry-After`` waits).
+
+The CLI's ``repro submit|status|cancel`` subcommands are thin wrappers
+over this class; tests drive it against an in-process server.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+
+from repro.service.schemas import (JobRequest, JobStatus,
+                                   SubmitResponse, dumps)
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx API response."""
+
+    def __init__(self, code: int, error: str, detail=(),
+                 retry_after: float | None = None):
+        super().__init__(f"HTTP {code}: {error}")
+        self.code = code
+        self.error = error
+        self.detail = list(detail)
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """One orchestrator endpoint, e.g. ``http://127.0.0.1:8421``."""
+
+    def __init__(self, base_url: str, timeout: float = 10.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- transport ---------------------------------------------------------
+
+    def _request(self, method: str, path: str, body=None) -> dict:
+        data = dumps(body) if body is not None else None
+        req = urllib.request.Request(
+            self.base_url + path, data=data, method=method,
+            headers={"Content-Type": "application/json"}
+            if data else {})
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) \
+                    as resp:
+                return json.loads(resp.read() or b"{}")
+        except urllib.error.HTTPError as exc:
+            try:
+                payload = json.loads(exc.read() or b"{}")
+            except ValueError:
+                payload = {}
+            raise ServiceError(
+                exc.code, payload.get("error", exc.reason),
+                payload.get("detail", ()),
+                payload.get("retry_after")) from None
+
+    # -- API ---------------------------------------------------------------
+
+    def health(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def submit(self, request: JobRequest, max_retries: int = 0
+               ) -> SubmitResponse:
+        """POST the job; with ``max_retries`` > 0, 429 backpressure is
+        absorbed by waiting the server's ``Retry-After`` hint."""
+        attempt = 0
+        while True:
+            try:
+                obj = self._request("POST", "/jobs",
+                                    request.to_dict())
+            except ServiceError as exc:
+                if exc.code == 429 and attempt < max_retries:
+                    attempt += 1
+                    time.sleep(exc.retry_after or 1.0)
+                    continue
+                raise
+            return SubmitResponse.from_dict(obj)
+
+    def status(self, job_id: str) -> JobStatus:
+        return JobStatus.from_dict(
+            self._request("GET", f"/jobs/{job_id}"))
+
+    def list_jobs(self) -> list[JobStatus]:
+        obj = self._request("GET", "/jobs")
+        return [JobStatus.from_dict(j) for j in obj.get("jobs", ())]
+
+    def cancel(self, job_id: str) -> JobStatus:
+        return JobStatus.from_dict(
+            self._request("POST", f"/jobs/{job_id}/cancel"))
+
+    def drain(self) -> dict:
+        return self._request("POST", "/drain")
+
+    def results(self, job_id: str, follow: bool = False,
+                timeout: float | None = None) -> list[dict]:
+        """Fetch the JSONL result feed; ``follow=True`` streams until
+        the job is terminal (or ``timeout`` seconds pass)."""
+        suffix = "?follow=1" if follow else ""
+        req = urllib.request.Request(
+            f"{self.base_url}/jobs/{job_id}/results{suffix}")
+        out = []
+        with urllib.request.urlopen(
+                req, timeout=timeout or self.timeout) as resp:
+            if resp.status != 200:
+                raise ServiceError(resp.status, "results fetch failed")
+            for line in resp:
+                line = line.strip()
+                if line:
+                    out.append(json.loads(line))
+        return out
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.25) -> JobStatus:
+        """Poll until the job reaches a terminal state."""
+        from repro.service.schemas import TERMINAL_JOB_STATES
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status.state in TERMINAL_JOB_STATES:
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status.state!r} after "
+                    f"{timeout:g}s")
+            time.sleep(poll)

@@ -1,0 +1,95 @@
+"""Service worker process: lease-scoped cell execution with heartbeats.
+
+Each worker is a separate OS process spawned by the orchestrator with a
+private task queue and a shared result queue.  Protocol (all messages
+are plain tuples, first element the message name)::
+
+    worker -> orchestrator
+        ("ready",     wid)                       # idle, dispatch to me
+        ("started",   wid, key, token)           # picked up a task
+        ("heartbeat", wid)                       # liveness, every ttl/4
+        ("done",      wid, key, token, payload)  # cell result
+        ("error",     wid, key, token, errstr)   # cell raised
+
+    orchestrator -> worker (task queue)
+        (key, spec, attempt, token)              # execute one cell
+        None                                     # drain: exit cleanly
+
+The heartbeat comes from a daemon thread, so it keeps flowing while the
+main thread simulates a long cell — worker *death* (crash, the
+``worker_vanish`` fault, OOM-kill) silences it, which is what the
+orchestrator's lease TTL detects.  A *hung* cell keeps heartbeating by
+design; hang detection is the orchestrator's per-cell deadline
+(``RunPolicy.timeout``), mirroring ``run_grid``'s hung-worker handling.
+
+Cells execute through :func:`repro.experiments.parallel._execute_cell`
+— the exact code path ``run_grid`` workers use — so fault injection
+(``crash``/``hang``/``exc``…), telemetry ``cell_exec_*`` events and
+payload encoding are identical, and a service-computed result is
+byte-identical to the CLI's.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+
+from repro import faults
+from repro.experiments import parallel
+from repro.telemetry import events as tele_events
+
+#: Exit code of a ``worker_vanish`` fault (visible in orchestrator logs;
+#: distinct from :data:`repro.faults.CRASH_EXIT_CODE` so a vanished
+#: service worker and a crashed pool worker are tellable apart).
+VANISH_EXIT_CODE = 174
+
+#: Heartbeat period as a fraction of the lease TTL: four beats per TTL
+#: window, so a single dropped message never expires a healthy lease.
+HEARTBEAT_FRACTION = 0.25
+
+
+def worker_main(wid: str, task_q, result_q, lease_ttl: float,
+                fault_plan=None, tele_ctx=None) -> None:
+    """Run the worker loop until a ``None`` sentinel arrives.
+
+    ``fault_plan``/``tele_ctx`` are the orchestrator's ambient fault
+    plan and telemetry context, passed explicitly (as ``run_grid``'s
+    pool initializer does) so any multiprocessing start method behaves
+    alike.
+    """
+    faults.worker_init(fault_plan)
+    tele_events.worker_init(tele_ctx)
+    stop = threading.Event()
+    interval = max(0.05, lease_ttl * HEARTBEAT_FRACTION)
+
+    def beat() -> None:
+        while not stop.wait(interval):
+            try:
+                result_q.put(("heartbeat", wid))
+            except Exception:
+                return      # queue torn down: orchestrator is gone
+    threading.Thread(target=beat, name=f"{wid}-heartbeat",
+                     daemon=True).start()
+
+    try:
+        result_q.put(("ready", wid))
+        while True:
+            task = task_q.get()
+            if task is None:
+                break
+            key, spec, attempt, token = task
+            if faults.worker_vanishes(key, attempt):
+                # Silent death: no message, no traceback — the
+                # orchestrator must find out via liveness/lease TTL.
+                os._exit(VANISH_EXIT_CODE)
+            result_q.put(("started", wid, key, token))
+            try:
+                payload = parallel._execute_cell(spec, key, attempt)
+            except BaseException as exc:
+                result_q.put(("error", wid, key, token,
+                              parallel._errstr(exc)))
+            else:
+                result_q.put(("done", wid, key, token, payload))
+            result_q.put(("ready", wid))
+    finally:
+        stop.set()
