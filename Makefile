@@ -10,8 +10,8 @@ FAULT_SET ?= all
 WL ?= bfs-twitter
 VARIANT ?= sdc_lp
 
-.PHONY: test check check-faults check-shards check-service bench \
-	bench-engine profile-engine timeline docs-check
+.PHONY: test check check-faults check-shards check-service check-dse \
+	bench bench-engine profile-engine timeline docs-check
 
 # Shard counts exercised by check-shards.
 SHARD_COUNTS ?= 2 4
@@ -88,6 +88,9 @@ check-shards:         ## sharded sweeps must merge bit-identical to single-host
 
 check-service:        ## kill+restart the service mid-job, diff vs clean CLI
 	$(PY) tools/service_smoke.py
+
+check-dse:            ## SIGINT a DSE study mid-search; resume must be byte-identical
+	$(PY) tools/dse_smoke.py
 
 bench:                ## full paper-reproduction benchmark run
 	$(PY) -m pytest benchmarks/ --benchmark-only

@@ -377,6 +377,55 @@ def _service_bench(tmp_path, monkeypatch) -> dict:
 #: Window for the telemetry-on measurement (the engine default).
 TELEMETRY_WINDOW = 4096
 
+# -- DSE search efficiency -------------------------------------------------
+
+#: A small-but-real successive-halving study for the search-efficiency
+#: gate: enough candidates that the rung-1 cut is visible, short traces
+#: so the block times in seconds.
+DSE_SEED = 5
+DSE_CANDIDATES = 16
+DSE_RUNGS = 2
+DSE_LENGTH = 2_500
+DSE_WORKLOADS = ("pr.urand", "cc.urand")
+
+#: ISSUE 9 acceptance gate: the search must simulate fewer than this
+#: fraction of the cells a full enumeration of the declared space
+#: would cost.
+MAX_DSE_FRACTION = 0.5
+
+
+def _dse_bench(tmp_path, monkeypatch) -> dict:
+    """One quick ``run_study`` with fresh caches; wall-clock plus the
+    simulated-cells-vs-full-enumeration ratio the CI gate asserts."""
+    from repro.dse import run_study
+    from repro.experiments import results_cache as rc
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "dse-bench"))
+    t0 = time.perf_counter()
+    res = run_study(seed=DSE_SEED, n=DSE_CANDIDATES, rungs=DSE_RUNGS,
+                    base_length=DSE_LENGTH, tier="tiny",
+                    workloads=DSE_WORKLOADS,
+                    manifest_dir=tmp_path / "dse-runs",
+                    cache=rc.ResultsCache(tmp_path / "dse-results"))
+    seconds = time.perf_counter() - t0
+    fraction = res.cells_simulated / res.full_enumeration_cells
+    return {
+        "seed": DSE_SEED,
+        "candidates": DSE_CANDIDATES,
+        "rungs": DSE_RUNGS,
+        "base_length": DSE_LENGTH,
+        "workloads": list(DSE_WORKLOADS),
+        "cells_simulated": res.cells_simulated,
+        "full_enumeration_cells": res.full_enumeration_cells,
+        "fraction_of_full_enumeration": round(fraction, 4),
+        "frontier_size": len(res.frontier),
+        "variants_on_frontier": sorted({p.variant
+                                        for p in res.frontier}),
+        "seconds": round(seconds, 2),
+        "cells_per_sec": round(res.cells_simulated / seconds, 2),
+    }
+
+
 #: Disabled telemetry may cost at most this much of engine throughput.
 #: Its hot-path footprint is one falsy integer test per access; the
 #: gate runs against OFF_PATH_REFERENCE, an interleaved same-machine
@@ -483,6 +532,22 @@ def test_engine_throughput(show, tmp_path, monkeypatch):
         f" (v7 npz {ts['warm_v7_npz_load_seconds']}s), per-worker "
         f"trace memory {ts['per_worker_trace_memory_reduction_x']}x "
         f"smaller at {ts['jobs']} jobs, bit-identical to v7")
+    # DSE search efficiency: successive halving must simulate well
+    # under half the cells a full enumeration of the declared space
+    # would need, while still producing a frontier (ISSUE 9 gate).
+    dse = _dse_bench(tmp_path, monkeypatch)
+    result["dse"] = dse
+    lines.append(
+        f"  {'dse':10} {dse['cells_simulated']:>12,}  cells for "
+        f"{dse['candidates']} candidates "
+        f"({100 * dse['fraction_of_full_enumeration']:.2f}% of the "
+        f"{dse['full_enumeration_cells']:,}-cell full enumeration)")
+    assert dse["fraction_of_full_enumeration"] < MAX_DSE_FRACTION, (
+        f"DSE search simulated {dse['cells_simulated']} cells — "
+        f"{100 * dse['fraction_of_full_enumeration']:.1f}% of the full "
+        f"enumeration, above the {100 * MAX_DSE_FRACTION:.0f}% gate: "
+        "the halving schedule or dominance pruning has regressed")
+    assert dse["frontier_size"] > 0
     _OUT.write_text(json.dumps(result, indent=2) + "\n")
     lines.append(f"  -> {_OUT.name}")
     show("\n".join(lines))

@@ -101,8 +101,59 @@ def main(argv=None) -> int:
     prun.add_argument("workload", help="kernel.graph, e.g. pr.kron")
     prun.add_argument("--variant", default="sdc_lp",
                       help="baseline/sdc_lp/topt/distill/l1iso/llc2x/"
-                           "expert/victim/lp_bypass")
+                           "expert/victim/lp_bypass/sdc_clp/"
+                           "sdc_lp_tagless")
     _common(prun)
+
+    pdse = sub.add_parser(
+        "dse",
+        help="design-space exploration: successive-halving search of "
+             "the SystemConfig space with a Pareto frontier over "
+             "(speedup, storage bits) — see docs/DSE.md")
+    pdse.add_argument("--seed", type=int, default=0,
+                      help="sampling seed (same seed = same candidate "
+                           "sequence, same study id)")
+    pdse.add_argument("--candidates", type=int, default=64, metavar="N",
+                      help="configs to sample from the space "
+                           "(default 64)")
+    pdse.add_argument("--rungs", type=int, default=3,
+                      help="halving rungs; trace length doubles per "
+                           "rung (default 3)")
+    pdse.add_argument("--quick", action="store_true",
+                      help="quick study: 32 candidates, 2 rungs, tiny "
+                           "tier, short traces")
+    pdse.add_argument("--length", type=int, default=None, metavar="N",
+                      help="rung-0 trace length (default 20000; 4000 "
+                           "with --quick)")
+    pdse.add_argument("--tier", default=None,
+                      help="graph size tier (default medium; tiny with "
+                           "--quick)")
+    pdse.add_argument("--workloads", nargs="+", default=None,
+                      metavar="WL", help="evaluation workloads "
+                      "(default: one per irregularity class)")
+    pdse.add_argument("--jobs", type=int, default=1,
+                      help="worker processes for the per-rung grids")
+    pdse.add_argument("--no-cache", action="store_true",
+                      help="bypass the on-disk result cache")
+    pdse.add_argument("--progress", action="store_true",
+                      help="print one line per finished grid cell")
+    pdse.add_argument("--check", action="store_true",
+                      help="run with invariant checking enabled "
+                           "(implies --no-cache)")
+    pdse.add_argument("--timeout", type=float, default=None,
+                      metavar="SEC", help="per-cell timeout")
+    pdse.add_argument("--retries", type=int, default=2,
+                      help="retry attempts per failed cell")
+    pdse.add_argument("--resume", metavar="STUDY_ID", default=None,
+                      help="resume an interrupted study from its "
+                           "runs/<study_id>.dse.json ledger")
+    pdse.add_argument("--csv", metavar="PATH", default=None,
+                      help="also write the full evaluated-point set "
+                           "as CSV")
+    pdse.add_argument("--backend", choices=("ref", "batch"),
+                      default=None,
+                      help="simulation engine (default: $REPRO_BACKEND "
+                           "or ref)")
 
     ptl = sub.add_parser(
         "timeline",
@@ -236,6 +287,10 @@ def main(argv=None) -> int:
     sub.add_parser("table3")
     sub.add_parser("table4")
     plist = sub.add_parser("workloads")
+    plist.add_argument("--json", action="store_true",
+                       help="machine-readable output (one object per "
+                            "workload) for DSE studies and external "
+                            "scripts")
 
     args = parser.parse_args(argv)
     cmd = args.command
@@ -273,9 +328,17 @@ def main(argv=None) -> int:
         print(f"\nLP fits in one CPU cycle: {lp_fits_in_one_cycle()}")
         return 0
     if cmd == "workloads":
-        for wl in WORKLOADS:
-            print(wl.name)
+        if args.json:
+            import json as _json
+            print(_json.dumps([{"name": wl.name, "kernel": wl.kernel,
+                                "graph": wl.graph}
+                               for wl in WORKLOADS], indent=1))
+        else:
+            for wl in WORKLOADS:
+                print(wl.name)
         return 0
+    if cmd == "dse":
+        return _dse(args)
     if cmd == "run":
         return _run_one(args)
     if cmd == "timeline":
@@ -749,6 +812,79 @@ def _run_one(args) -> int:
     print(f"  served by: {served}")
     print(f"  energy: {energy_per_kilo_instruction(stats):.2f} uJ/kilo-"
           f"instr (on-chip {energy_of(stats).on_chip:.3f} mJ)")
+    return 0
+
+
+def _dse(args) -> int:
+    """`repro dse`: successive-halving search with a Pareto report."""
+    from repro.dse import frontier_csv, render_frontier, run_study
+    from repro.experiments.parallel import (GridError, GridInterrupted,
+                                            ProgressPrinter, RunPolicy)
+
+    candidates = args.candidates
+    rungs = args.rungs
+    tier = args.tier or "medium"
+    length = args.length or 20_000
+    workloads = tuple(args.workloads) if args.workloads else None
+    if args.quick:
+        candidates = min(candidates, 32)
+        rungs = min(rungs, 2)
+        tier = args.tier or "tiny"
+        length = args.length or 4_000
+    seed = args.seed
+    if args.resume:
+        # Resume takes its parameters from the ledger, so the bare
+        # `--resume STUDY_ID` works without repeating the flags.
+        from repro.dse import StudyManifest
+        try:
+            ledger = StudyManifest.load(args.resume)
+        except FileNotFoundError:
+            print(f"no study ledger for {args.resume!r} "
+                  f"(runs/{args.resume}.dse.json)", file=sys.stderr)
+            return 2
+        p = ledger.data["params"]
+        seed, candidates, rungs = p["seed"], p["n"], p["rungs"]
+        length, tier = p["base_length"], p["tier"]
+        workloads = tuple(p["workloads"])
+    policy = RunPolicy(timeout=args.timeout, retries=args.retries)
+    progress = ProgressPrinter() \
+        if (args.progress or args.jobs > 1) else None
+    try:
+        result = run_study(
+            seed=seed, n=candidates, rungs=rungs,
+            base_length=length, tier=tier, workloads=workloads,
+            study_id=args.resume, jobs=args.jobs,
+            use_cache=not args.no_cache, progress=progress,
+            policy=policy)
+    except ValueError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    except GridInterrupted as gi:
+        study_id = gi.run_id.rsplit("-rung", 1)[0]
+        print(f"\nInterrupted — every completed cell is checkpointed "
+              f"({gi.summary}).")
+        print(f"Resume with: repro dse --resume {study_id}")
+        return 130
+    except GridError as ge:
+        print(f"\n{ge}")
+        for label, err in sorted(ge.failures.items()):
+            print(f"  {label}: {err}")
+        print(f"Completed cells are checkpointed; the same command "
+              f"retries only the rest.")
+        return 1
+    print(render_frontier(result))
+    print()
+    print(f"  cells: {result.cells_simulated} simulated, "
+          f"{result.cells_cached} cached/deduped, "
+          f"{result.resumed_rungs} rung(s) replayed from the ledger")
+    print(f"  full enumeration of the space would be "
+          f"{result.full_enumeration_cells} cells")
+    print(f"  study ledger: runs/{result.study_id}.dse.json "
+          f"(resume with --resume {result.study_id})")
+    if args.csv:
+        Path(args.csv).write_text(frontier_csv(result.points),
+                                  encoding="utf-8")
+        print(f"  CSV: {args.csv}")
     return 0
 
 

@@ -66,7 +66,14 @@ class CacheConfig:
 
 @dataclass(frozen=True)
 class LPConfig:
-    """Large Predictor table parameters (paper §III-B, Table I)."""
+    """Large Predictor table parameters (paper §III-B, Table I).
+
+    ``tagless=True`` selects the tag-less ablation (the
+    ``sdc_lp_tagless`` variant): the table is direct-mapped on the PC
+    with no stored tag, so distinct PCs mapping to the same slot alias
+    onto one stride accumulator.  The tag bits saved are traded for a
+    larger table (see :func:`tagless_lp_config`).
+    """
 
     entries: int = 32
     ways: int = 8
@@ -75,6 +82,7 @@ class LPConfig:
     tag_bits: int = 65
     addr_bits: int = 58
     stride_bits: int = 14
+    tagless: bool = False
 
     @property
     def num_sets(self) -> int:
@@ -87,6 +95,68 @@ class LPConfig:
     def storage_bits(self) -> int:
         per_entry = self.tag_bits + self.addr_bits + self.stride_bits + 1
         return per_entry * self.entries
+
+
+#: Tag-less table growth factor: the ~47% of the tagged entry spent on
+#: the tag buys roughly 4x the entries at iso-ish storage once the
+#: per-entry cost drops to addr + stride + valid.
+TAGLESS_LP_GROWTH = 4
+
+
+def tagless_lp_config(lp: LPConfig) -> LPConfig:
+    """The tag-less/larger-table LP ablation geometry.
+
+    Drops the tag (``tag_bits=0``), grows the table by
+    :data:`TAGLESS_LP_GROWTH` and makes it direct-mapped (``ways=1`` —
+    with no tags there is nothing to associate on).  Used by
+    ``variant_config`` for the ``sdc_lp_tagless`` variant and by
+    :func:`storage_overhead_bits` for its cost accounting.  Idempotent,
+    so a config whose LP was already converted (e.g. a DSE candidate
+    baked before submission) passes through unchanged.
+    """
+    if lp.tagless:
+        return lp
+    return dataclasses.replace(
+        lp, tagless=True, tag_bits=0, ways=1,
+        entries=lp.entries * TAGLESS_LP_GROWTH)
+
+
+@dataclass(frozen=True)
+class CLPConfig:
+    """Cache-level predictor table parameters (``sdc_clp`` variant).
+
+    A PC-indexed, set-associative table in the spirit of Jalili &
+    Erez's cache-level prediction ("Reducing Load Latency with Cache
+    Level Prediction", PAPERS.md): instead of accumulating address
+    strides like the LP, each entry keeps an exponential moving
+    average of the *level* that served this PC's accesses (weights in
+    :mod:`repro.core.clp`).  A PC whose counter reaches ``tau_clp`` is
+    predicted irregular and routed to the SDC.
+
+    Storage accounting follows the Table IV convention (full-width
+    tag, no set-index subtraction): tag + counter + valid per entry.
+    """
+
+    entries: int = 128
+    ways: int = 8
+    tau_clp: int = 8
+    tag_bits: int = 65
+    ctr_bits: int = 5
+
+    @property
+    def num_sets(self) -> int:
+        if self.ways <= 0 or self.entries % self.ways:
+            raise ValueError(f"CLP: {self.entries} entries not divisible "
+                             f"by {self.ways} ways")
+        return self.entries // self.ways
+
+    @property
+    def ctr_max(self) -> int:
+        return (1 << self.ctr_bits) - 1
+
+    @property
+    def storage_bits(self) -> int:
+        return (self.tag_bits + self.ctr_bits + 1) * self.entries
 
 
 @dataclass(frozen=True)
@@ -166,6 +236,7 @@ class SystemConfig:
     sdc: CacheConfig = field(default_factory=lambda: CacheConfig(
         "SDC", 8 * 1024, 2, 1, 10, "lru", "next_line"))
     lp: LPConfig = field(default_factory=LPConfig)
+    clp: CLPConfig = field(default_factory=CLPConfig)
     sdcdir: SDCDirConfig = field(default_factory=SDCDirConfig)
     dram: DRAMConfig = field(default_factory=DRAMConfig)
     num_cores: int = 1
@@ -210,6 +281,64 @@ class SystemConfig:
                              f"cyc"))
         width = max(len(r[0]) for r in rows)
         return "\n".join(f"{k:<{width}}  {v}" for k, v in rows)
+
+
+def _cache_block_bits() -> int:
+    """Bits per cache block under the Table IV convention: data + a
+    full-block-address tag (no set-index subtraction) + valid + dirty."""
+    return BLOCK_SIZE * 8 + (PHYS_ADDR_BITS - BLOCK_BITS) + 1 + 1
+
+
+def storage_overhead_bits(cfg: SystemConfig,
+                          variant: str = "sdc_lp") -> int:
+    """Per-core storage a variant adds over the baseline, in bits.
+
+    The Table IV accounting (SDC data+tag+valid+dirty, LP
+    tag+address+stride+valid, SDCDir tag+state+sharers), extended to
+    every design variant so a Pareto search can use one cost axis:
+
+    * ``baseline``/``topt``/``distill`` reuse existing structures — 0;
+    * ``sdc_lp`` adds SDC + LP + SDCDir (the paper's Table IV total);
+    * ``sdc_clp`` swaps the LP for the cache-level predictor
+      (:class:`CLPConfig`);
+    * ``sdc_lp_tagless`` swaps the LP for its tag-less/larger-table
+      geometry (:func:`tagless_lp_config`);
+    * ``expert`` adds SDC + SDCDir (routing is compile-time, no LP);
+    * ``lp_bypass`` adds only the LP;
+    * ``l1iso`` adds 2 L1D ways (+25% capacity), ``llc2x`` doubles the
+      LLC, ``victim`` adds an SDC-sized victim cache — all accounted at
+      :func:`_cache_block_bits` per extra block.
+
+    SRAM for replacement-policy metadata (SRRIP/SHiP counters) is not
+    counted: it is common to all LLC variants and orders of magnitude
+    below the block storage that dominates this axis.
+    """
+    sdc = cfg.sdc.num_blocks * _cache_block_bits()
+    sdcdir = cfg.sdcdir.entries_per_core * (
+        cfg.sdcdir.tag_bits + cfg.sdcdir.state_bits
+        + max(1, cfg.num_cores))
+    if variant in ("baseline", "topt", "distill"):
+        return 0
+    if variant == "sdc_lp":
+        return sdc + cfg.lp.storage_bits + sdcdir
+    if variant == "sdc_clp":
+        return sdc + cfg.clp.storage_bits + sdcdir
+    if variant == "sdc_lp_tagless":
+        return sdc + tagless_lp_config(cfg.lp).storage_bits + sdcdir
+    if variant == "expert":
+        return sdc + sdcdir
+    if variant == "lp_bypass":
+        return cfg.lp.storage_bits
+    if variant == "l1iso":
+        # +2 ways on an 8-way L1D: num_blocks * 10//8 - num_blocks.
+        extra = cfg.l1d.num_blocks * 10 // 8 - cfg.l1d.num_blocks
+        return extra * _cache_block_bits()
+    if variant == "llc2x":
+        return cfg.llc.num_blocks * _cache_block_bits()
+    if variant == "victim":
+        return cfg.sdc.num_blocks * _cache_block_bits()
+    raise ValueError(f"unknown variant {variant!r} for storage "
+                     f"accounting")
 
 
 def paper_config(num_cores: int = 1) -> SystemConfig:

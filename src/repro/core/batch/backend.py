@@ -108,10 +108,21 @@ def _plain_lru_ok(cache: SetAssocCache) -> bool:
             and cache._policy_miss is None)
 
 
+_KERNEL_VARIANTS = frozenset({
+    "baseline", "sdc_lp", "topt", "distill", "l1iso", "llc2x",
+    "expert", "victim", "lp_bypass",
+})
+
+
 def unsupported_reason(system, trace) -> str | None:
     """Why this run cannot take the batch kernel (None = it can)."""
     if load_kernel() is None:
         return "kernel unavailable"
+    # Explicit allowlist: the kernel dispatches unknown variants to the
+    # baseline path, so anything it was not written for (sdc_clp,
+    # sdc_lp_tagless, future variants) must be refused, not mis-run.
+    if system.variant not in _KERNEL_VARIANTS:
+        return f"variant {system.variant!r} not implemented by the kernel"
     if system._check_every:
         return "invariant checking armed"
     h = system.hierarchy
@@ -165,6 +176,10 @@ def unsupported_reason(system, trace) -> str | None:
         return "dram not fresh"
 
     lp = system.lp
+    if lp is not None and lp.config.tagless:
+        # A tagless LPConfig can be hand-attached to any LP-bearing
+        # variant; the kernel only models the tagged lookup.
+        return "tagless lp unsupported by the kernel"
     if lp is not None and (lp._clock or lp.stats != LPStats()
                            or any(lp.sets)):
         return "lp not fresh"

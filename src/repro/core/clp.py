@@ -1,0 +1,117 @@
+"""The Cache-Level Predictor (CLP) — the ``sdc_clp`` variant.
+
+An alternative irregularity predictor in the spirit of Jalili & Erez,
+"Reducing Load Latency with Cache Level Prediction" (PAPERS.md): where
+the LP classifies a PC by the *strides* between its accesses, the CLP
+classifies it by the *level of the hierarchy that actually served*
+them.  Each entry of a small PC-indexed, set-associative table keeps an
+exponential moving average of a per-level weight (shallow levels pull
+the counter toward 0, DRAM pulls it up); a PC whose counter has
+reached ``tau_clp`` is predicted irregular and routed to the SDC.
+
+Unlike the LP's combined consult+update (Fig. 4/5), prediction and
+training are split: the serving level is only known *after* the access
+completes, so the run loop calls :meth:`CacheLevelPredictor.predict`
+before routing and :meth:`CacheLevelPredictor.update` afterwards — on
+every access, both paths, so the predictor keeps learning about PCs it
+routed to the SDC (an SDC-served access trains with the DRAM-class
+weight: the routing decision stays sticky exactly like a saturated LP
+stride accumulator).
+"""
+
+from __future__ import annotations
+
+from repro.config import CLPConfig
+from repro.core.lp import LPStats
+
+#: Training weight per serving-level code (mem.hierarchy: L1D, L2C,
+#: LLC, DRAM, SDC, REMOTE).  The EMA converges to the weight of a
+#: steady serving level, so with tau_clp=8 a PC turns irregular only
+#: once its accesses are being served predominantly below the L2C.
+LEVEL_WEIGHTS = (0, 4, 12, 24, 24, 24)
+
+
+class CLPEntry:
+    """One CLP table entry: level-EMA counter + LRU stamp."""
+
+    __slots__ = ("ctr", "stamp")
+
+    def __init__(self, ctr: int, stamp: int):
+        self.ctr = ctr
+        self.stamp = stamp
+
+    def __repr__(self) -> str:
+        return f"CLPEntry(ctr={self.ctr}, stamp={self.stamp})"
+
+
+class CacheLevelPredictor:
+    """PC-indexed serving-level EMA predictor."""
+
+    def __init__(self, config: CLPConfig | None = None):
+        self.config = config or CLPConfig()
+        self.num_sets = self.config.num_sets
+        self.ways = self.config.ways
+        self.tau = self.config.tau_clp
+        self._set_bits = max(0, self.num_sets.bit_length() - 1)
+        if 1 << self._set_bits != self.num_sets:
+            raise ValueError("CLP set count must be a power of two")
+        # Same PC indexing as the LP: drop the instruction-alignment
+        # bits first (constant zero for 4-byte-aligned PCs).
+        self._align_bits = 2
+        self._set_mask = self.num_sets - 1
+        self._ctr_max = self.config.ctr_max
+        # Per set: dict tag -> CLPEntry
+        self.sets: list[dict[int, CLPEntry]] = [dict()
+                                                for _ in range(self.num_sets)]
+        self._clock = 0
+        self.stats = LPStats()
+
+    def predict(self, pc: int) -> bool:
+        """Consult the table; True when the PC is classified irregular.
+
+        A table miss classifies regular and (re)initializes the LRU
+        victim entry with a zero counter — the PC must *earn* SDC
+        routing through deep-level service history.
+        """
+        st = self.stats
+        st.lookups += 1
+        idx = pc >> self._align_bits
+        lines = self.sets[idx & self._set_mask]
+        clock = self._clock + 1
+        self._clock = clock
+        entry = lines.get(idx >> self._set_bits)
+        if entry is not None:
+            st.table_hits += 1
+            irregular = entry.ctr >= self.tau
+            entry.stamp = clock
+        else:
+            st.table_misses += 1
+            irregular = False
+            if len(lines) >= self.ways:
+                victim = min(lines, key=lambda t: lines[t].stamp)
+                del lines[victim]
+            lines[idx >> self._set_bits] = CLPEntry(0, clock)
+        if irregular:
+            st.predicted_irregular += 1
+        else:
+            st.predicted_regular += 1
+        return irregular
+
+    def update(self, pc: int, level: int) -> None:
+        """Fold the serving level of a completed access into the EMA.
+
+        ``predict`` allocated the entry on this very access, so the
+        lookup cannot miss between the paired calls.
+        """
+        idx = pc >> self._align_bits
+        entry = self.sets[idx & self._set_mask].get(idx >> self._set_bits)
+        if entry is None:
+            return
+        ctr = (entry.ctr + LEVEL_WEIGHTS[level]) >> 1
+        entry.ctr = ctr if ctr <= self._ctr_max else self._ctr_max
+
+    def peek(self, pc: int) -> int | None:
+        """Read the counter for a PC without updating (testing aid)."""
+        idx = pc >> self._align_bits
+        entry = self.sets[idx & self._set_mask].get(idx >> self._set_bits)
+        return None if entry is None else entry.ctr

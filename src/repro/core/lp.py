@@ -72,6 +72,13 @@ class LargePredictor:
         # unused), so we index with PC >> 2.
         self._align_bits = 2
         self._set_mask = self.num_sets - 1
+        # Tag-less ablation (sdc_lp_tagless): no tag is stored or
+        # compared, so every PC mapping to a slot shares its entry
+        # (aliasing is the ablation's cost).  Implemented branch-free:
+        # the tag key is the PC shifted past any realistic width, i.e.
+        # constantly zero, so the lookup below degenerates to "the
+        # slot's single entry" without a tagless test per access.
+        self._tag_shift = 200 if self.config.tagless else self._set_bits
         self._s_acc_max = (1 << self.config.stride_bits) - 1
         # Per set: dict tag -> LPEntry
         self.sets: list[dict[int, LPEntry]] = [dict()
@@ -90,7 +97,7 @@ class LargePredictor:
         lines = self.sets[idx & self._set_mask]
         clock = self._clock + 1
         self._clock = clock
-        entry = lines.get(idx >> self._set_bits)
+        entry = lines.get(idx >> self._tag_shift)
         if entry is not None:
             st.table_hits += 1
             s_acc = entry.s_acc
@@ -110,7 +117,7 @@ class LargePredictor:
             if len(lines) >= self.ways:
                 victim = min(lines, key=lambda t: lines[t].stamp)
                 del lines[victim]
-            lines[idx >> self._set_bits] = LPEntry(block_addr, 0, clock)
+            lines[idx >> self._tag_shift] = LPEntry(block_addr, 0, clock)
         if irregular:
             st.predicted_irregular += 1
         else:
@@ -120,5 +127,5 @@ class LargePredictor:
     def peek(self, pc: int) -> tuple[int, int] | None:
         """Read (addr, s_acc) for a PC without updating (testing aid)."""
         idx = pc >> self._align_bits
-        entry = self.sets[idx & self._set_mask].get(idx >> self._set_bits)
+        entry = self.sets[idx & self._set_mask].get(idx >> self._tag_shift)
         return None if entry is None else (entry.addr, entry.s_acc)

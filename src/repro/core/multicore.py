@@ -26,9 +26,10 @@ import numpy as np
 
 from repro.config import BLOCK_BITS, SystemConfig
 from repro.core.batch import resolve_backend
+from repro.core.clp import CacheLevelPredictor
 from repro.core.lp import LargePredictor
 from repro.core.sdcdir import SDCDirectory
-from repro.core.system import (SystemStats, VARIANTS,
+from repro.core.system import (SDC_VARIANTS, SystemStats, VARIANTS,
                                irregular_access_mask, next_use_indices,
                                variant_config)
 from repro.mem.cache import SetAssocCache
@@ -89,7 +90,7 @@ class MultiCoreSystem:
             self.llc = SetAssocCache(self._shared_llc_config(), policy)
         self.dram = DRAMModel(self.config.dram)
         self.directory: dict[int, list[int]] = {}   # block -> [sharers, owner]
-        self.has_sdc = variant in ("sdc_lp", "expert")
+        self.has_sdc = variant in SDC_VARIANTS
         self.sdcdir = SDCDirectory(self.config.sdcdir, self.num_cores) \
             if self.has_sdc else None
 
@@ -97,6 +98,7 @@ class MultiCoreSystem:
         self.cores: list[MemoryHierarchy] = []
         self.sdcs: list[SetAssocCache | None] = []
         self.lps: list[LargePredictor | None] = []
+        self.clps: list[CacheLevelPredictor | None] = []
         self.tlbs: list[TLBHierarchy] = []
         for _ in range(self.num_cores):
             h = MemoryHierarchy(self.config, llc=self.llc, dram=self.dram)
@@ -104,7 +106,10 @@ class MultiCoreSystem:
             self.sdcs.append(SetAssocCache(self.config.sdc)
                              if self.has_sdc else None)
             self.lps.append(LargePredictor(self.config.lp)
-                            if variant == "sdc_lp" else None)
+                            if variant in ("sdc_lp", "sdc_lp_tagless")
+                            else None)
+            self.clps.append(CacheLevelPredictor(self.config.clp)
+                             if variant == "sdc_clp" else None)
             self.tlbs.append(TLBHierarchy())
 
     def _shared_llc_config(self):
@@ -532,8 +537,11 @@ class MultiCoreSystem:
 
             pool = 0
             if self.has_sdc:
+                clp = self.clps[core]
                 if self.variant == "expert":
                     irregular = s["expert_irr"][i]
+                elif clp is not None:
+                    irregular = clp.predict(s["pcs"][i])
                 else:
                     irregular = self.lps[core].predict_and_update(
                         s["pcs"][i], block)
@@ -543,6 +551,8 @@ class MultiCoreSystem:
                 else:
                     level, latency = self._access_hierarchy(core, block,
                                                             write, aux)
+                if clp is not None:
+                    clp.update(s["pcs"][i], level)
             else:
                 level, latency = self._access_hierarchy(core, block, write,
                                                         aux)
@@ -597,6 +607,8 @@ class MultiCoreSystem:
             llc=copy.copy(self.llc.stats),
             sdc=copy.copy(self.sdcs[core].stats) if self.sdcs[core] else None,
             dram=copy.copy(self.dram.stats),
-            lp=copy.copy(self.lps[core].stats) if self.lps[core] else None,
+            lp=copy.copy(self.lps[core].stats) if self.lps[core]
+            else (copy.copy(self.clps[core].stats)
+                  if self.clps[core] else None),
             tlb=copy.copy(self.tlbs[core].stats),
             timeline=timeline)

@@ -20,6 +20,12 @@ Ablations beyond the paper's comparison set:
 * ``lp_bypass`` — LP routing *without* the SDC: irregular accesses skip
   the L2C/LLC lookups and go straight to DRAM but get no side storage
   (isolates the bypass benefit from the SDC's caching benefit).
+* ``sdc_clp``   — the SDC fronted by a cache-level predictor
+  (:mod:`repro.core.clp`, per Jalili & Erez) instead of the LP: PCs
+  are routed by the hierarchy level that has been serving them.
+* ``sdc_lp_tagless`` — the tag-less/larger-table LP ablation: the LP's
+  tag bits buy a 4x larger direct-mapped table whose slots alias
+  across PCs (:func:`repro.config.tagless_lp_config`).
 
 Single-valid-copy coherence between the SDC and the hierarchy is
 enforced by the SDCDir exactly as §III-C describes: a block entering
@@ -33,8 +39,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.config import BLOCK_BITS, SystemConfig
+from repro.config import BLOCK_BITS, SystemConfig, tagless_lp_config
 from repro.core.batch import resolve_backend, try_run_batch
+from repro.core.clp import CacheLevelPredictor
 from repro.core.lp import LargePredictor, LPStats
 from repro.core.sdcdir import SDCDirectory
 from repro.mem.cache import CacheStats, SetAssocCache
@@ -53,7 +60,10 @@ from repro.validate import check_interval
 from repro.validate.invariants import check_single_core_system
 
 VARIANTS = ("baseline", "sdc_lp", "topt", "distill", "l1iso", "llc2x",
-            "expert", "victim", "lp_bypass")
+            "expert", "victim", "lp_bypass", "sdc_clp", "sdc_lp_tagless")
+
+#: Variants that pair an SDC with the conventional hierarchy.
+SDC_VARIANTS = ("sdc_lp", "expert", "sdc_clp", "sdc_lp_tagless")
 
 NEVER = BeladyOPT.NEVER
 
@@ -174,6 +184,9 @@ def variant_config(config: SystemConfig, variant: str) -> SystemConfig:
         llc = config.llc
         return dataclasses.replace(config, llc=llc.resized(
             llc.size_bytes * 2))
+    if variant == "sdc_lp_tagless":
+        return dataclasses.replace(config,
+                                   lp=tagless_lp_config(config.lp))
     return config
 
 
@@ -290,15 +303,18 @@ class SingleCoreSystem:
                                          enable_prefetch=enable_prefetch)
         self.tlb = TLBHierarchy() if enable_tlb else None
 
-        self.has_sdc = variant in ("sdc_lp", "expert")
+        self.has_sdc = variant in SDC_VARIANTS
         self.sdc: SetAssocCache | None = None
         self.lp: LargePredictor | None = None
+        self.clp: CacheLevelPredictor | None = None
         self.sdcdir: SDCDirectory | None = None
         if self.has_sdc:
             self.sdc = SetAssocCache(self.config.sdc)
             self.sdcdir = SDCDirectory(self.config.sdcdir, num_cores=1)
-            if variant == "sdc_lp":
+            if variant in ("sdc_lp", "sdc_lp_tagless"):
                 self.lp = LargePredictor(self.config.lp)
+            elif variant == "sdc_clp":
+                self.clp = CacheLevelPredictor(self.config.clp)
         elif variant == "lp_bypass":
             self.lp = LargePredictor(self.config.lp)
 
@@ -656,6 +672,7 @@ class SingleCoreSystem:
         completions = [0.0] * n
         hierarchy = self.hierarchy
         lp = self.lp
+        clp = self.clp
         has_sdc = self.has_sdc
         expert = self.variant == "expert"
         expert_irr = self._expert_block_classifier(trace, blocks_np) \
@@ -677,6 +694,8 @@ class SingleCoreSystem:
         timer_access = timer.access
         hierarchy_access = hierarchy.access_fast
         lp_predict = lp.predict_and_update if lp is not None else None
+        clp_predict = clp.predict if clp is not None else None
+        clp_update = clp.update if clp is not None else None
         sdc_access = self._access_via_sdc
         regular_access = self._access_regular_with_sdc
         victim_access = self._access_victim
@@ -709,6 +728,8 @@ class SingleCoreSystem:
             if has_sdc:
                 if expert:
                     irregular = expert_irr[i]
+                elif clp_predict is not None:
+                    irregular = clp_predict(pc)
                 else:
                     irregular = lp_predict(pc, block)
                 if irregular:
@@ -717,6 +738,8 @@ class SingleCoreSystem:
                 else:
                     level, latency = regular_access(block, write, aux,
                                                     pc=pc)
+                if clp_update is not None:
+                    clp_update(pc, level)
             elif is_victim:
                 level, latency = victim_access(block, write, aux)
             elif is_bypass:
@@ -752,7 +775,7 @@ class SingleCoreSystem:
             llc=hierarchy.llc.stats,
             sdc=self.sdc.stats if self.sdc else None,
             dram=hierarchy.dram.stats,
-            lp=lp.stats if lp else None,
+            lp=lp.stats if lp else (clp.stats if clp is not None else None),
             levels=levels,
             tlb=tlb.stats if tlb else None,
             timeline=probe.timeline() if probe is not None else None)
@@ -817,6 +840,9 @@ class SingleCoreSystem:
         if self.lp is not None:
             for s in self.lp.sets:
                 s.clear()
+        if self.clp is not None:
+            for s in self.clp.sets:
+                s.clear()
 
     def _reset_stats(self) -> None:
         # The stat window no longer covers the caches' whole life, so
@@ -831,5 +857,7 @@ class SingleCoreSystem:
             self.sdc.stats = CacheStats()
         if self.lp is not None:
             self.lp.stats = LPStats()
+        if self.clp is not None:
+            self.clp.stats = LPStats()
         if self.tlb is not None:
             self.tlb.stats = TLBStats()

@@ -1,0 +1,39 @@
+"""Design-space exploration over :class:`repro.config.SystemConfig`.
+
+The paper fixes one design point (tau=8, an 8 KiB 2-way SDC, one LP
+geometry); this package *searches* the space instead of enumerating
+it:
+
+* :mod:`repro.dse.space` — the declared parameter space (SDC
+  size/ways, tau, predictor table geometry, LLC replacement, predictor
+  variant), with every point realized as a plain ``SystemConfig`` so
+  digests, cache keys and manifests work unchanged;
+* :mod:`repro.dse.sampler` — deterministic seedable sampling of
+  candidate configs out of the space;
+* :mod:`repro.dse.search` — the successive-halving driver: short
+  traces first, survivors promoted to longer traces, every cell
+  evaluated through :func:`repro.experiments.parallel.run_grid` so
+  warm caches, fault tolerance and resume compose for free;
+* :mod:`repro.dse.pareto` — dominance and Pareto-frontier extraction
+  over (speedup vs baseline, storage-overhead bits);
+* :mod:`repro.dse.study` — the ``runs/<study_id>.dse.json`` study
+  manifest that makes a search resumable and byte-identical on resume;
+* :mod:`repro.dse.report` — deterministic text/CSV frontier reports.
+
+See docs/DSE.md for the algorithm and how to read the output.
+"""
+
+from repro.dse.pareto import FrontierPoint, dominates, pareto_frontier
+from repro.dse.report import frontier_csv, render_frontier
+from repro.dse.sampler import Candidate, sample
+from repro.dse.search import StudyResult, derive_study_id, run_study
+from repro.dse.space import (Choice, ParamSpace, SEARCH_VARIANTS,
+                             default_space, to_config)
+from repro.dse.study import StudyManifest
+
+__all__ = [
+    "Candidate", "Choice", "FrontierPoint", "ParamSpace",
+    "SEARCH_VARIANTS", "StudyManifest", "StudyResult", "default_space",
+    "derive_study_id", "dominates", "frontier_csv", "pareto_frontier",
+    "render_frontier", "run_study", "sample", "to_config",
+]

@@ -1,0 +1,41 @@
+"""Pareto dominance over (speedup vs baseline, storage-overhead bits).
+
+Speedup is maximized, storage is minimized.  A point *dominates*
+another when it is at least as good on both axes and strictly better
+on at least one — the standard strict-dominance relation, which is
+irreflexive and antisymmetric (property-tested in tests/test_dse.py).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class FrontierPoint:
+    """One evaluated candidate projected onto the two search axes."""
+
+    key: str                    # candidate identity (sampler.Candidate.key)
+    variant: str
+    speedup: float              # geomean speedup vs baseline (paper style)
+    bits: int                   # storage_overhead_bits of the config
+    rung: int = 0               # deepest halving rung that scored it
+
+
+def dominates(a: FrontierPoint, b: FrontierPoint) -> bool:
+    """True when ``a`` strictly dominates ``b``."""
+    return (a.speedup >= b.speedup and a.bits <= b.bits
+            and (a.speedup > b.speedup or a.bits < b.bits))
+
+
+def pareto_frontier(points: list[FrontierPoint]) -> list[FrontierPoint]:
+    """The non-dominated subset, sorted cheap-to-expensive.
+
+    Ties on both axes all survive (neither dominates the other).  The
+    sort key ``(bits, -speedup, key)`` is total, so the output is a
+    pure function of the point *set* — byte-identical reports on
+    resume fall out of this.
+    """
+    front = [p for p in points
+             if not any(dominates(q, p) for q in points)]
+    return sorted(front, key=lambda p: (p.bits, -p.speedup, p.key))

@@ -1,0 +1,65 @@
+"""Deterministic text/CSV reports for a DSE study.
+
+Both renderers are pure functions of the study's scores — no
+timestamps, no wall-clock, no environment — so a resumed study
+reproduces them byte-for-byte (the property ``make check-dse``
+asserts after a SIGINT + resume).
+"""
+
+from __future__ import annotations
+
+from repro.dse.pareto import FrontierPoint
+from repro.dse.search import StudyResult
+
+
+def _fmt_speedup(s: float) -> str:
+    return f"{s * 100:+.2f}%"
+
+
+def _fmt_bits(bits: int) -> str:
+    return f"{bits / 8192:.2f} KiB"
+
+
+def frontier_csv(points: list[FrontierPoint]) -> str:
+    """CSV over the given points: key,variant,rung,speedup,storage_bits.
+
+    Floats are emitted with ``repr`` (shortest round-trip form), so
+    equal values always serialize identically.
+    """
+    lines = ["key,variant,rung,speedup,storage_bits"]
+    lines.extend(f"{p.key},{p.variant},{p.rung},{p.speedup!r},{p.bits}"
+                 for p in points)
+    return "\n".join(lines) + "\n"
+
+
+def render_frontier(result: StudyResult) -> str:
+    """Human-readable study summary + Pareto frontier table."""
+    labels = {c.key: c.label for c in result.candidates}
+    frontier_keys = {p.key for p in result.frontier}
+    out = [
+        f"DSE study {result.study_id}",
+        f"  candidates: {len(result.candidates)}  workloads: "
+        + ",".join(result.workloads),
+        "  rungs: " + " -> ".join(
+            f"{len(s)}@{ln}" for ln, s in zip(result.rung_lengths,
+                                              result.rung_scores)),
+        "",
+        "Pareto frontier (speedup vs storage overhead):",
+        f"  {'cand':<6} {'variant':<16} {'rung':>4} {'speedup':>9} "
+        f"{'storage':>10}",
+    ]
+    for p in result.frontier:
+        out.append(f"  {labels.get(p.key, '?'):<6} {p.variant:<16} "
+                   f"{p.rung:>4} {_fmt_speedup(p.speedup):>9} "
+                   f"{_fmt_bits(p.bits):>10}")
+    dominated = len(result.points) - len(result.frontier)
+    out.append("")
+    out.append(f"  {len(result.frontier)} non-dominated of "
+               f"{len(result.points)} evaluated ({dominated} dominated)")
+    best = max(result.points, key=lambda p: (p.speedup, -p.bits),
+               default=None)
+    if best is not None and best.key in frontier_keys:
+        out.append(f"  best speedup: {labels.get(best.key, '?')} "
+                   f"({best.variant}) {_fmt_speedup(best.speedup)} at "
+                   f"{_fmt_bits(best.bits)}")
+    return "\n".join(out)

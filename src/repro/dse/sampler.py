@@ -1,0 +1,78 @@
+"""Deterministic seedable sampling of the DSE space.
+
+The k-th draw hashes ``"{space.digest()}|{seed}|{k}"`` with sha256 and
+reduces it modulo the space size — no ``random`` module, no process
+``hash()`` salt, so the same ``(space, seed)`` yields the same
+candidate sequence in every process on every host (the property the
+study manifest's resumability rests on).  Invalid points (see
+:func:`repro.dse.space.to_config`) and duplicates (two points that
+realize to the same ``(variant, config.digest())``) are skipped; draws
+continue until ``n`` distinct candidates are collected.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from repro.config import SystemConfig, storage_overhead_bits
+from repro.dse.space import ParamSpace, to_config
+
+#: Hash draws per requested candidate before giving up — only a space
+#: whose valid/distinct fraction is microscopic can exhaust this.
+_DRAW_FACTOR = 4096
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One sampled design point, realized and costed."""
+
+    index: int                  # position in the sampled sequence
+    variant: str
+    point: tuple[tuple[str, object], ...]   # sorted (dim, value) pairs
+    config: SystemConfig
+
+    @property
+    def key(self) -> str:
+        """Stable content-addressed identity (variant + config digest)."""
+        return f"{self.variant}:{self.config.digest()}"
+
+    @property
+    def label(self) -> str:
+        return f"c{self.index:03d}"
+
+    @property
+    def storage_bits(self) -> int:
+        return storage_overhead_bits(self.config, self.variant)
+
+
+def sample(space: ParamSpace, seed: int, n: int,
+           base: SystemConfig) -> list[Candidate]:
+    """Draw ``n`` distinct valid candidates from ``space``."""
+    if n < 1:
+        raise ValueError("need at least one candidate")
+    prefix = f"{space.digest()}|{seed}|"
+    size = space.size()
+    seen: set[str] = set()
+    out: list[Candidate] = []
+    for k in range(n * _DRAW_FACTOR):
+        if len(out) >= n:
+            break
+        h = hashlib.sha256(f"{prefix}{k}".encode("utf-8")).hexdigest()
+        point = space.decode(int(h[:16], 16) % size)
+        realized = to_config(point, base)
+        if realized is None:
+            continue
+        variant, cfg = realized
+        ident = f"{variant}:{cfg.digest()}"
+        if ident in seen:
+            continue
+        seen.add(ident)
+        out.append(Candidate(index=len(out), variant=variant,
+                             point=tuple(sorted(point.items())),
+                             config=cfg))
+    if len(out) < n:
+        raise ValueError(
+            f"space yielded only {len(out)} distinct valid candidates "
+            f"after {n * _DRAW_FACTOR} draws (requested {n})")
+    return out

@@ -1,0 +1,189 @@
+"""Successive-halving search over the DSE space.
+
+The driver samples ``n`` candidates, scores every one on the shortest
+trace (rung 0), then repeatedly promotes the best-performing half to a
+doubled trace length — so the bulk of the simulation budget goes to
+short runs of bad configs and long runs of good ones.  At each rung,
+candidates dominated on (speedup, storage bits) by another scored
+candidate are pruned before the halving cut, so a config that is both
+slower and bigger than a rival never consumes another cell.
+
+Every cell goes through :func:`repro.experiments.parallel.run_grid`
+(run id ``<study_id>-rung<r>``): the shared results cache, per-rung
+run manifests, retries and fault tolerance all compose unchanged, and
+an interrupted rung resumes without re-simulating its completed cells.
+Completed rungs are replayed from the study manifest without touching
+``run_grid`` at all, so a ``--resume`` of a finished study performs
+zero work and reproduces the frontier byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+
+from repro.config import SystemConfig
+from repro.dse.pareto import FrontierPoint, dominates, pareto_frontier
+from repro.dse.sampler import Candidate, sample
+from repro.dse.space import ParamSpace, default_space
+from repro.dse.study import StudyManifest
+from repro.experiments.parallel import Job, Progress, run_grid
+from repro.experiments.runner import default_config, geomean_speedup
+
+#: One representative workload per graph-irregularity class — the
+#: default evaluation set a study scores candidates on.
+DEFAULT_WORKLOADS = ("pr.kron", "bfs.urand", "cc.friendster")
+
+
+def derive_study_id(params: dict) -> str:
+    """Deterministic study id from the defining parameters.
+
+    Re-running the same command line therefore *is* the resume path —
+    the id lands on the same ``runs/<id>.dse.json`` ledger.
+    """
+    blob = json.dumps(params, sort_keys=True, separators=(",", ":"))
+    h = hashlib.sha256(blob.encode("utf-8")).hexdigest()[:10]
+    return f"dse-s{params['seed']}-{h}"
+
+
+@dataclass
+class StudyResult:
+    """Everything a report (or a test) needs about one finished study."""
+
+    study_id: str
+    candidates: list[Candidate]
+    workloads: tuple
+    rung_lengths: list[int]
+    rung_scores: list[dict]         # per rung: candidate key -> score
+    resumed_rungs: int              # rungs replayed from the ledger
+    points: list[FrontierPoint]     # every candidate at deepest score
+    frontier: list[FrontierPoint]   # the non-dominated subset
+    counters: dict = field(default_factory=dict)   # Progress.source tallies
+    full_enumeration_cells: int = 0
+
+    @property
+    def cells_simulated(self) -> int:
+        return self.counters.get("run", 0)
+
+    @property
+    def cells_cached(self) -> int:
+        return (self.counters.get("cache", 0)
+                + self.counters.get("dedup", 0))
+
+    @property
+    def cells_evaluated(self) -> int:
+        return self.cells_simulated + self.cells_cached
+
+
+def run_study(seed: int = 0, n: int = 32, rungs: int = 2,
+              base_length: int = 20_000, tier: str = "tiny",
+              workloads: tuple | None = None,
+              space: ParamSpace | None = None,
+              base: SystemConfig | None = None,
+              study_id: str | None = None,
+              manifest_dir=None, cache=None, use_cache: bool = True,
+              jobs: int = 1, progress=None, policy=None,
+              backend: str | None = None) -> StudyResult:
+    """Run (or resume) one successive-halving study.
+
+    ``study_id=None`` derives a deterministic id from the parameters;
+    passing an explicit id (``repro dse --resume``) must name a study
+    whose recorded parameters match.  Raises
+    :class:`~repro.experiments.parallel.GridInterrupted` on ^C with
+    every completed cell checkpointed.
+    """
+    if rungs < 1:
+        raise ValueError("need at least one rung")
+    space = space or default_space()
+    base = base or default_config()
+    workloads = tuple(workloads or DEFAULT_WORKLOADS)
+    params = {"seed": seed, "space": space.digest(), "n": n,
+              "rungs": rungs, "base_length": base_length, "tier": tier,
+              "workloads": list(workloads),
+              "base_config": base.digest()}
+    sid = study_id or derive_study_id(params)
+    manifest = StudyManifest.open(sid, manifest_dir, params)
+
+    candidates = sample(space, seed, n, base)
+    by_key = {c.key: c for c in candidates}
+    manifest.data["candidates"] = [
+        {"key": c.key, "label": c.label, "variant": c.variant,
+         "point": dict(c.point), "storage_bits": c.storage_bits}
+        for c in candidates]
+    manifest.save()
+
+    counters: dict[str, int] = {}
+
+    def _count(p: Progress) -> None:
+        counters[p.source] = counters.get(p.source, 0) + 1
+        if progress is not None:
+            progress(p)
+
+    survivors = [c.key for c in candidates]
+    rung_scores: list[dict] = []
+    rung_lengths: list[int] = []
+    resumed = 0
+    for r in range(rungs):
+        length = base_length << r
+        rung_lengths.append(length)
+        done = manifest.completed_rung(r)
+        if done is not None and done["length"] == length:
+            rung_scores.append(done["scores"])
+            survivors = list(done["survivors"])
+            resumed += 1
+            continue
+        alive = [by_key[k] for k in survivors]
+        grid = [Job(wl, "baseline", base, tier=tier, length=length)
+                for wl in workloads]
+        for c in alive:
+            grid.extend(Job(wl, c.variant, c.config, tier=tier,
+                            length=length, tag=c.key)
+                        for wl in workloads)
+        results = run_grid(grid, jobs=jobs, use_cache=use_cache,
+                           cache=cache, progress=_count, policy=policy,
+                           run_id=f"{sid}-rung{r}",
+                           manifest_dir=manifest_dir, backend=backend)
+        w = len(workloads)
+        base_stats = results[:w]
+        scores = {}
+        for i, c in enumerate(alive):
+            stats = results[w * (i + 1): w * (i + 2)]
+            scores[c.key] = geomean_speedup(list(zip(base_stats, stats)))
+        survivors = _select_survivors(scores, by_key)
+        manifest.record_rung(r, length, scores, survivors)
+        rung_scores.append(scores)
+
+    # Every candidate enters the frontier at the deepest rung that
+    # scored it — survivors with their long-trace score, early losers
+    # with the short-trace estimate that eliminated them.
+    deepest: dict[str, tuple[int, float]] = {}
+    for r, scores in enumerate(rung_scores):
+        for key, s in scores.items():
+            deepest[key] = (r, s)
+    points = [FrontierPoint(key=k, variant=by_key[k].variant, speedup=s,
+                            bits=by_key[k].storage_bits, rung=r)
+              for k, (r, s) in sorted(deepest.items())]
+    frontier = pareto_frontier(points)
+    manifest.finalize([asdict(p) for p in frontier])
+    return StudyResult(
+        study_id=sid, candidates=candidates, workloads=workloads,
+        rung_lengths=rung_lengths, rung_scores=rung_scores,
+        resumed_rungs=resumed, points=points, frontier=frontier,
+        counters=counters,
+        full_enumeration_cells=space.size() * len(workloads))
+
+
+def _select_survivors(scores: dict, by_key: dict) -> list[str]:
+    """Dominance-prune, then keep the top half by score.
+
+    The sort key ``(-speedup, bits, key)`` is total, so the surviving
+    set is a pure function of the scores — identical on resume.
+    """
+    pts = [FrontierPoint(key=k, variant=by_key[k].variant, speedup=s,
+                         bits=by_key[k].storage_bits)
+           for k, s in scores.items()]
+    alive = [p for p in pts if not any(dominates(q, p) for q in pts)]
+    order = sorted(alive, key=lambda p: (-p.speedup, p.bits, p.key))
+    keep = max(1, len(scores) // 2)
+    return [p.key for p in order[:keep]]

@@ -1,0 +1,139 @@
+"""The declared DSE parameter space.
+
+A :class:`ParamSpace` is an ordered tuple of named :class:`Choice`
+dimensions; a *point* is one value per dimension, addressed by a
+single mixed-radix index in ``[0, space.size())``.  The space is pure
+declaration — :func:`to_config` realizes a point against a base
+:class:`~repro.config.SystemConfig`, returning ``None`` for points
+whose geometry is invalid against that base (e.g. an SDC with fewer
+blocks than ways), which the sampler skips deterministically.
+
+Every realized candidate is a plain ``SystemConfig`` plus a variant
+name out of :data:`SEARCH_VARIANTS`, so the result cache, run
+manifests and the batch backend all apply unchanged.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from dataclasses import dataclass
+
+from repro.config import CLPConfig, SystemConfig, tagless_lp_config
+
+#: Predictor variants the search explores (all SDC-bearing; the
+#: baseline is the fixed reference point, not a candidate).
+SEARCH_VARIANTS = ("sdc_lp", "sdc_clp", "sdc_lp_tagless")
+
+
+@dataclass(frozen=True)
+class Choice:
+    """One named categorical dimension."""
+
+    name: str
+    values: tuple
+
+    def __post_init__(self):
+        if not self.values:
+            raise ValueError(f"dimension {self.name!r} has no values")
+
+
+@dataclass(frozen=True)
+class ParamSpace:
+    """An ordered product of :class:`Choice` dimensions."""
+
+    dims: tuple[Choice, ...]
+
+    def size(self) -> int:
+        n = 1
+        for d in self.dims:
+            n *= len(d.values)
+        return n
+
+    def digest(self) -> str:
+        """Deterministic fingerprint of the declaration (names, value
+        lists and their order) — folds into sampling and study ids so
+        a changed space can never silently reuse another's samples."""
+        payload = [[d.name, list(d.values)] for d in self.dims]
+        blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+    def decode(self, index: int) -> dict:
+        """Mixed-radix decode of ``index`` into a point (name -> value)."""
+        if not 0 <= index < self.size():
+            raise ValueError(f"index {index} outside [0, {self.size()})")
+        point = {}
+        for d in reversed(self.dims):
+            index, r = divmod(index, len(d.values))
+            point[d.name] = d.values[r]
+        return point
+
+
+def default_space() -> ParamSpace:
+    """The searched space (~4.6k points before validity filtering).
+
+    SDC capacity is declared *relative* to the base config's SDC
+    (``sdc_size_x2`` is a multiplier of half the base size: 1 = half,
+    2 = base, 8 = 4x) so the same declaration spans the paper-scale
+    4-32 KiB sweep and its scaled-down quick-study counterpart.  The
+    ``lp_entries``/``lp_ways``/``tau`` dimensions parameterize
+    whichever predictor the variant uses (LP, tag-less LP, or CLP).
+    """
+    return ParamSpace(dims=(
+        Choice("variant", SEARCH_VARIANTS),
+        Choice("sdc_size_x2", (1, 2, 4, 8)),
+        Choice("sdc_ways", (2, 4, 8)),
+        Choice("tau", (2, 4, 8, 16)),
+        Choice("lp_entries", (16, 32, 64, 128)),
+        Choice("lp_ways", (4, 8)),
+        Choice("llc_replacement", ("lru", "srrip", "drrip", "ship")),
+    ))
+
+
+def to_config(point: dict, base: SystemConfig
+              ) -> tuple[str, SystemConfig] | None:
+    """Realize a point as ``(variant, SystemConfig)``.
+
+    Returns ``None`` when the point is invalid against ``base`` (SDC
+    geometry that does not divide into sets, or a predictor table
+    whose set count is not a power of two).  The tag-less ablation is
+    baked into the candidate's config here (idempotently — see
+    :func:`repro.config.tagless_lp_config`), so two points that
+    collapse to the same physical table also collapse to the same
+    config digest and are deduplicated by the sampler.
+    """
+    variant = point["variant"]
+    if variant not in SEARCH_VARIANTS:
+        return None
+
+    sdc_bytes = base.sdc.size_bytes * point["sdc_size_x2"] // 2
+    ways = point["sdc_ways"]
+    blocks = sdc_bytes // base.sdc.block_size
+    if blocks < ways or blocks % ways:
+        return None
+    sdc = base.sdc.resized(sdc_bytes, ways=ways)
+
+    entries, pways, tau = (point["lp_entries"], point["lp_ways"],
+                           point["tau"])
+    if entries % pways or not _pow2(entries // pways):
+        return None
+
+    cfg = dataclasses.replace(
+        base, sdc=sdc,
+        llc=dataclasses.replace(base.llc,
+                                replacement=point["llc_replacement"]))
+    if variant == "sdc_clp":
+        cfg = dataclasses.replace(
+            cfg, clp=CLPConfig(entries=entries, ways=pways, tau_clp=tau))
+    else:
+        lp = dataclasses.replace(base.lp, entries=entries, ways=pways,
+                                 tau_glob=tau)
+        if variant == "sdc_lp_tagless":
+            lp = tagless_lp_config(lp)
+        cfg = dataclasses.replace(cfg, lp=lp)
+    return variant, cfg
+
+
+def _pow2(n: int) -> bool:
+    return n > 0 and not (n & (n - 1))

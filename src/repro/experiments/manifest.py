@@ -131,16 +131,19 @@ class RunManifest:
         resolves run ids through this).  Raises ``FileNotFoundError``
         when no runs exist.  A manifest pruned by a concurrent
         supervisor between glob and stat is skipped, not an error.
-        Shard manifests (one host's slice of a sharded sweep) and
+        Shard manifests (one host's slice of a sharded sweep),
         service-owned job manifests (``<run_id>.service.json``, which
         a live :mod:`repro.service` orchestrator may be mid-way
-        through) are skipped — neither is a complete sweep ``latest``
-        should hand to an exporter."""
+        through) and DSE study manifests (``<study_id>.dse.json``,
+        :mod:`repro.dse` — a search ledger, not a sweep) are skipped —
+        none is a complete sweep ``latest`` should hand to an
+        exporter."""
         d = directory or runs_dir()
         best: tuple[float, str] | None = None
         if d.is_dir():
             for p in d.glob("*.json"):
-                if ".shard-" in p.stem or p.stem.endswith(".service"):
+                if (".shard-" in p.stem or p.stem.endswith(".service")
+                        or p.stem.endswith(".dse")):
                     continue
                 try:
                     mtime = p.stat().st_mtime

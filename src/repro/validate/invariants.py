@@ -222,6 +222,26 @@ def check_lp_structure(lp, ctx: dict | None = None) -> None:
               f"{lp.config.entries}", ctx)
 
 
+def check_clp_structure(clp, ctx: dict | None = None) -> None:
+    """CLP table capacity bounds plus counter saturation range."""
+    if clp is None:
+        return
+    total = 0
+    ctr_max = clp.config.ctr_max
+    for set_idx, lines in enumerate(clp.sets):
+        if len(lines) > clp.ways:
+            _fail("clp-occupancy", f"CLP set {set_idx} holds {len(lines)} "
+                  f"entries, ways = {clp.ways}", ctx)
+        total += len(lines)
+        for tag, entry in lines.items():
+            if not (0 <= entry.ctr <= ctr_max):
+                _fail("clp-counter", f"CLP set {set_idx} tag {tag} counter "
+                      f"{entry.ctr} outside [0, {ctr_max}]", ctx)
+    if total > clp.config.entries:
+        _fail("clp-budget", f"CLP holds {total} entries, budget is "
+              f"{clp.config.entries}", ctx)
+
+
 # ---------------------------------------------------------------------------
 # Coherence checks
 # ---------------------------------------------------------------------------
@@ -392,6 +412,7 @@ def check_single_core_system(system, ctx: dict | None = None) -> None:
     if system.victim is not None:
         check_cache(system.victim, "VC", ctx, ledger=ledger)
     check_lp_structure(system.lp, ctx)
+    check_clp_structure(getattr(system, "clp", None), ctx)
     if system.variant in STRICT_CHAIN_VARIANTS:
         check_level_chain(h.l1d, h.l2c, h.llc.stats.accesses,
                           h.l2c.stats.misses, "single-core", ctx)
@@ -410,6 +431,9 @@ def check_multicore_system(system, ctx: dict | None = None) -> None:
         check_cache(h.l2c, f"core{c}.L2C", ctx, ledger=ledger)
         l2_misses += h.l2c.stats.misses
         check_lp_structure(system.lps[c], ctx)
+        clps = getattr(system, "clps", None)
+        if clps is not None:
+            check_clp_structure(clps[c], ctx)
         if system.variant in STRICT_CHAIN_VARIANTS:
             if h.l2c.stats.accesses != h.l1d.stats.misses:
                 _fail("level-chain",
