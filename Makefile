@@ -11,7 +11,7 @@ WL ?= bfs-twitter
 VARIANT ?= sdc_lp
 
 .PHONY: test check check-faults check-shards check-service check-dse \
-	bench bench-engine profile-engine timeline docs-check
+	check-ingest bench bench-engine profile-engine timeline docs-check
 
 # Shard counts exercised by check-shards.
 SHARD_COUNTS ?= 2 4
@@ -92,6 +92,9 @@ check-service:        ## kill+restart the service mid-job, diff vs clean CLI
 check-dse:            ## SIGINT a DSE study mid-search; resume must be byte-identical
 	$(PY) tools/dse_smoke.py
 
+check-ingest:         ## ingest a real edge list; mapped CSR must match in-memory
+	$(PY) tools/ingest_smoke.py
+
 bench:                ## full paper-reproduction benchmark run
 	$(PY) -m pytest benchmarks/ --benchmark-only
 
@@ -101,8 +104,10 @@ bench-engine:         ## throughput smoke: regenerates BENCH_engine.json
 profile-engine:       ## cProfile hotspot report + ref/batch wall-clock A/B
 	$(PY) tools/profile_engine.py
 
-docs-check:           ## markdown link check + doctests in trace modules
+docs-check:           ## markdown link check + doctests in trace/graph modules
 	python tools/check_links.py README.md DESIGN.md EXPERIMENTS.md docs/*.md
 	$(PY) -m doctest src/repro/trace/record.py src/repro/trace/kernels.py \
-	  src/repro/trace/store.py
+	  src/repro/trace/store.py src/repro/trace/synthetic.py \
+	  src/repro/graphs/io.py src/repro/graphs/csr.py \
+	  src/repro/graphs/ingest.py
 	@echo "docs-check: links and doctests OK"

@@ -292,6 +292,28 @@ def main(argv=None) -> int:
                             "workload) for DSE studies and external "
                             "scripts")
 
+    ping = sub.add_parser(
+        "ingest",
+        help="stream a real edge-list file into the mapped graph store",
+        description="Ingest a .el/.wel/SNAP .txt edge list (optionally "
+                    ".gz) into $REPRO_CACHE_DIR/graphs/ as a "
+                    "memory-mapped CSR usable as a workload graph "
+                    "(e.g. bfs.<name>); see docs/WORKLOADS.md.")
+    ping.add_argument("path", help="edge-list file to ingest")
+    ping.add_argument("--name", default=None,
+                      help="store name (default: file name minus "
+                           "extensions)")
+    ping.add_argument("--symmetrize", action="store_true",
+                      help="add the reverse of every edge (undirected "
+                           "loading, as GAP does for -s)")
+    ping.add_argument("--num-vertices", type=int, default=None,
+                      help="vertex count override (default: max id + 1)")
+    ping.add_argument("--force", action="store_true",
+                      help="re-ingest even if a store entry exists")
+    ping.add_argument("--chunk-edges", type=int, default=None,
+                      help="edges parsed per streaming chunk "
+                           "(default 1M; bounds ingest memory)")
+
     args = parser.parse_args(argv)
     cmd = args.command
     if getattr(args, "backend", None):
@@ -328,15 +350,21 @@ def main(argv=None) -> int:
         print(f"\nLP fits in one CPU cycle: {lp_fits_in_one_cycle()}")
         return 0
     if cmd == "workloads":
+        from repro.experiments.workloads import ALL_WORKLOADS, KERNELS
         if args.json:
             import json as _json
-            print(_json.dumps([{"name": wl.name, "kernel": wl.kernel,
-                                "graph": wl.graph}
-                               for wl in WORKLOADS], indent=1))
+            print(_json.dumps(
+                [{"name": wl.name, "kernel": wl.kernel,
+                  "graph": wl.graph,
+                  "family": ("gap" if wl.kernel in KERNELS
+                             else wl.kernel)}
+                 for wl in ALL_WORKLOADS], indent=1))
         else:
-            for wl in WORKLOADS:
+            for wl in ALL_WORKLOADS:
                 print(wl.name)
         return 0
+    if cmd == "ingest":
+        return _ingest(args)
     if cmd == "dse":
         return _dse(args)
     if cmd == "run":
@@ -500,6 +528,35 @@ def _dispatch_figure(cmd, args, kw, gkw, wls) -> int:
                                       tier=args.tier,
                                       length=args.length // 2)
         print(report.render_fig14(res))
+    return 0
+
+
+def _ingest(args) -> int:
+    """`repro ingest <path>`: stream an edge list into the graph store."""
+    from repro.graphs import ingest
+
+    try:
+        kwargs = {}
+        if args.chunk_edges:
+            kwargs["chunk_edges"] = args.chunk_edges
+        report_ = ingest.ingest_graph(
+            args.path, name=args.name, symmetrize=args.symmetrize,
+            num_vertices=args.num_vertices, force=args.force, **kwargs)
+    except (OSError, ValueError) as exc:
+        print(f"ingest failed: {exc}", file=sys.stderr)
+        return 1
+    if report_.raw_edges < 0:
+        print(f"{report_.name}: already ingested at {report_.path} "
+              f"(use --force to rebuild)")
+    else:
+        print(f"{report_.name}: {report_.num_vertices:,} vertices, "
+              f"{report_.num_edges:,} edges "
+              f"({'symmetrized, ' if report_.symmetric else ''}"
+              f"{'weighted, ' if report_.weighted else ''}"
+              f"{report_.file_bytes:,} bytes mapped)")
+        print(f"  store: {report_.path}")
+    print(f"  run it: repro run bfs.{report_.name} sdc_lp "
+          f"(any kernel from `repro workloads`)")
     return 0
 
 

@@ -267,8 +267,11 @@ class ResultsCache:
                  "payload": payload}
         tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
         for attempt in range(5):
-            path.parent.mkdir(parents=True, exist_ok=True)
             try:
+                # Inside the retry: recursive mkdir itself raises
+                # FileNotFoundError when a concurrent rmtree removes
+                # the just-created ancestor mid-recursion.
+                path.parent.mkdir(parents=True, exist_ok=True)
                 with open(tmp, "w", encoding="utf-8") as fh:
                     json.dump(entry, fh, separators=(",", ":"))
                 os.replace(tmp, path)

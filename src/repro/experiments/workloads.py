@@ -1,5 +1,7 @@
 """Workload definitions: 6 kernels × 6 graphs = 36 single-core workloads
-(paper §IV-C) plus the random 4-thread mixes (§IV-D).
+(paper §IV-C), the random 4-thread mixes (§IV-D), and the three
+post-paper families (``rw``/``gs``/``dyn`` × the same graphs — see
+docs/WORKLOADS.md, :data:`EXTRA_WORKLOADS`).
 
 Traces are generated once per (kernel, graph, tier, length) and cached
 on disk under ``REPRO_CACHE_DIR`` (default ``.repro_cache/`` in the
@@ -30,12 +32,15 @@ import numpy as np
 
 from repro import faults
 from repro.graphs.suite import GRAPH_SUITE, load_graph
-from repro.kernels.common import KERNEL_TABLE, pick_source
+from repro.kernels.common import kernel_info, pick_source
 from repro.trace import store
 from repro.trace.kernels import generate_trace
 from repro.trace.record import Trace
 
 KERNELS = ("bc", "bfs", "cc", "pr", "tc", "sssp")
+#: Post-paper trace families (docs/WORKLOADS.md): random-walk
+#: sampling, gather-scatter aggregation, dynamic-graph updates.
+EXTRA_KERNELS = ("rw", "gs", "dyn")
 GRAPHS = tuple(GRAPH_SUITE)
 
 DEFAULT_TIER = "medium"        # ~10^5 vertices; pairs with scaled_config(16)
@@ -65,6 +70,15 @@ class Workload:
 WORKLOADS: tuple[Workload, ...] = tuple(
     Workload(k, g) for k in KERNELS for g in GRAPHS)
 
+#: The new-family grid.  Kept separate from :data:`WORKLOADS` — the
+#: paper figures enumerate exactly the 6 × 6 GAP grid — but every
+#: entry is a first-class workload: same trace cache, result cache
+#: keys, telemetry, shard partition and DSE reachability.
+EXTRA_WORKLOADS: tuple[Workload, ...] = tuple(
+    Workload(k, g) for k in EXTRA_KERNELS for g in GRAPHS)
+
+ALL_WORKLOADS: tuple[Workload, ...] = WORKLOADS + EXTRA_WORKLOADS
+
 
 def cache_dir() -> Path:
     d = Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
@@ -91,7 +105,7 @@ def trace_quarantine_dir() -> Path:
 
 
 def _generate(wl: Workload, tier: str, length: int) -> Trace:
-    weighted = KERNEL_TABLE[wl.kernel].weighted_input
+    weighted = kernel_info(wl.kernel).weighted_input
     graph = load_graph(wl.graph, tier=tier, weighted=weighted)
     # Over-generate so a post-warm-up window of `length` exists.
     budget = length * WINDOW_OVERGEN_FACTOR
@@ -106,6 +120,26 @@ def _generate(wl: Workload, tier: str, length: int) -> Trace:
         kwargs["iterations"] = 3
     if wl.kernel == "bc":
         kwargs["num_sources"] = 2
+    if wl.kernel == "rw":
+        # Scale the walk set to the access budget (~3 records per
+        # walker step) so the post-warm-up window exists at any length.
+        kwargs["seed"] = zlib.crc32(wl.name.encode()) % 1000
+        kwargs["num_walks"] = 1024
+        kwargs["walk_length"] = max(16, budget // (3 * 1024) + 1)
+    if wl.kernel == "gs":
+        kwargs["feature_dim"] = 16
+        # Each round emits ~2.5 accesses per in-edge; repeat rounds
+        # until the budget is covered.
+        per_round = max(1, int(2.5 * max(len(graph.in_na), 1)))
+        kwargs["rounds"] = max(2, budget // per_round + 1)
+    if wl.kernel == "dyn":
+        kwargs["seed"] = zlib.crc32(wl.name.encode()) % 1000
+        # Each batch replays a full query pass (~3 accesses per edge);
+        # batches scale with the budget so updates stay interleaved
+        # throughout the window.
+        per_batch = max(1, 3 * max(graph.num_edges, 1))
+        kwargs["batch_size"] = 1024
+        kwargs["batches"] = max(4, budget // per_batch + 1)
     trace = generate_trace(wl.kernel, graph, max_accesses=budget, **kwargs)
     if len(trace) > length:
         skip = len(trace) - length

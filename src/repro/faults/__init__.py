@@ -388,3 +388,16 @@ def mangle_trace_file(path, site: str, write_seq: int = 1) -> bool:
     and regenerates the trace once.
     """
     return _mangle_file(path, site, write_seq)
+
+
+def mangle_graph_file(path, site: str, write_seq: int = 1) -> bool:
+    """Apply corrupt/truncate faults to a just-ingested graph-store file.
+
+    Same decision semantics as :func:`mangle_trace_file` (``site`` is
+    ``graph:<filename>``, ``write_seq`` the per-process write count for
+    that file).  The graph store's payload/header checksums catch the
+    damage on the next open; the reader quarantines the file and
+    rebuilds it from the recorded source edge list once
+    (``repro.graphs.ingest.load_ingested``).
+    """
+    return _mangle_file(path, site, write_seq)

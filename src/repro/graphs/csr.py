@@ -1,14 +1,35 @@
 """CSR/CSC graph representation (paper §II-A, Fig. 1).
 
-A graph is stored as two arrays per direction:
+A graph is stored as two arrays per direction::
 
-* ``out_oa`` / ``out_na`` — CSR: ``out_na[out_oa[u]:out_oa[u+1]]`` are the
-  outgoing neighbours of vertex ``u``.
-* ``in_oa`` / ``in_na``  — CSC: incoming neighbours, used by pull-style
-  kernels such as PageRank.
+    array     dtype  length  contents
+    --------  -----  ------  --------------------------------------
+    out_oa    int64  n + 1   CSR Offset Array (row starts)
+    out_na    int32  e       CSR Neighbors Array (destinations)
+    in_oa     int64  n + 1   CSC offsets (incoming, pull kernels)
+    in_na     int32  e       CSC sources
+    *_weights int32  e       optional per-edge weights (SSSP)
 
-Vertex ids are ``int32`` (the GAP default for graphs under 2^31 edges) and
-offsets are ``int64``.  Optional per-edge weights back SSSP.
+``out_na[out_oa[u]:out_oa[u+1]]`` are the outgoing neighbours of
+vertex ``u``, sorted by destination; symmetric (undirected) graphs
+share one array set between CSR and CSC.  Vertex ids are ``int32``
+(the GAP default for graphs under 2^31 edges), offsets ``int64``.
+
+:func:`from_edges` applies GAP's loader semantics — infer ``n`` as the
+max endpoint + 1, drop self-loops, keep the *first* occurrence of each
+duplicate edge (and its weight), optionally add every reverse edge —
+and the streaming ingestion path (:mod:`repro.graphs.ingest`)
+reproduces those semantics byte-for-byte out of core:
+
+>>> import numpy as np
+>>> g = from_edges(np.array([[0, 1], [1, 2], [1, 1], [0, 1]]))
+>>> g.num_vertices, g.num_edges          # self-loop + dupe dropped
+(3, 2)
+>>> g.out_neighbors(1)
+array([2], dtype=int32)
+>>> u = from_edges(np.array([[0, 1], [1, 2]]), symmetrize=True)
+>>> u.num_edges, bool(u.symmetric)
+(4, True)
 """
 
 from __future__ import annotations

@@ -1,14 +1,33 @@
-"""Graph file I/O: GAP-compatible edge-list formats plus a binary cache.
+"""Graph file I/O: GAP-compatible edge-list formats plus binary caches.
 
-Formats:
+Formats (``.gz`` composes with every text format)::
 
-* ``.el``  — whitespace-separated ``src dst`` per line (GAP's plain
-  edge list); ``#`` comment lines ignored.
-* ``.wel`` — ``src dst weight`` per line (GAP's weighted edge list).
-* ``.npz`` — this package's binary CSR container (fast reload).
+    suffix        columns        loader behaviour
+    ------------  -------------  ----------------------------------
+    .el[.gz]      src dst        GAP plain edge list
+    .wel[.gz]     src dst w      GAP weighted edge list
+    .txt[.gz]     src dst        SNAP dump (# comments ignored)
+    .npz          CSR arrays     this package's compressed container
+    .graph        CSR arrays     ingest store (v1 envelope, mappable)
 
-These let the suite run on real datasets (SNAP dumps etc.) when
-available, instead of the synthetic surrogates.
+``load_edgelist`` streams the file in bounded chunks through
+:func:`repro.graphs.ingest.iter_edge_chunks`, so the raw rows never
+materialize all at once, and rejects rows whose column count does not
+match the format — a three-column row in a ``.el`` file is an error,
+not two silently-kept columns.  ``load_binary`` dispatches on content:
+an ``.npz`` container loads eagerly, a v1 graph-store file can load
+zero-copy (``mapped=True``).
+
+>>> import numpy as np, tempfile, os
+>>> from repro.graphs.csr import from_edges
+>>> g = from_edges(np.array([[0, 1], [1, 2], [2, 0]]))
+>>> d = tempfile.mkdtemp()
+>>> p = save_edgelist(g, os.path.join(d, "tri.el"))
+>>> g2 = load_edgelist(p)
+>>> bool(np.array_equal(g.out_na, g2.out_na))
+True
+>>> g2.num_vertices
+3
 """
 
 from __future__ import annotations
@@ -22,20 +41,39 @@ from repro.graphs.csr import CSRGraph, from_edges
 
 def load_edgelist(path, symmetrize: bool = False,
                   num_vertices: int | None = None) -> CSRGraph:
-    """Load a ``.el`` or ``.wel`` edge list (by extension)."""
+    """Load a ``.el``/``.wel``/``.txt`` edge list (optionally ``.gz``).
+
+    The format comes from the file name (see the module table); rows
+    with the wrong column count raise ``ValueError``.  Parsing is
+    chunked — peak memory is O(vertices + chunk), not O(file).
+
+    >>> import tempfile, os
+    >>> p = os.path.join(tempfile.mkdtemp(), "pair.el")
+    >>> _ = open(p, "w").write("# a comment\\n0 1\\n1 0\\n")
+    >>> load_edgelist(p).num_edges
+    2
+    """
+    from repro.graphs import ingest
     path = Path(path)
-    weighted = path.suffix == ".wel"
-    cols = 3 if weighted else 2
-    data = np.loadtxt(path, dtype=np.int64, comments="#", ndmin=2)
-    if data.size == 0:
-        data = np.empty((0, cols), dtype=np.int64)
-    if data.shape[1] < cols:
-        raise ValueError(f"{path.name}: expected {cols} columns, "
-                         f"got {data.shape[1]}")
-    edges = data[:, :2]
-    weights = data[:, 2].astype(np.int32) if weighted else None
+    fmt, _gz = ingest.edge_list_format(path)
+    weighted = fmt == "wel"
+    srcs, dsts, ws = [], [], []
+    for src, dst, w in ingest.iter_edge_chunks(path):
+        srcs.append(src)
+        dsts.append(dst)
+        if weighted:
+            ws.append(w)
+    if srcs:
+        edges = np.column_stack([np.concatenate(srcs),
+                                 np.concatenate(dsts)])
+    else:
+        edges = np.empty((0, 2), dtype=np.int64)
+    weights = (np.concatenate(ws).astype(np.int32)
+               if weighted and ws else
+               (np.empty(0, dtype=np.int32) if weighted else None))
     return from_edges(edges, num_vertices=num_vertices, weights=weights,
-                      symmetrize=symmetrize, name=path.stem)
+                      symmetrize=symmetrize,
+                      name=ingest.graph_name_from_path(path))
 
 
 def save_edgelist(graph: CSRGraph, path) -> Path:
@@ -72,8 +110,21 @@ def save_binary(graph: CSRGraph, path) -> Path:
     return path
 
 
-def load_binary(path) -> CSRGraph:
-    """Reload a graph saved by :func:`save_binary`."""
+def load_binary(path, mapped: bool = False) -> CSRGraph:
+    """Reload a graph saved by :func:`save_binary` or ``ingest``.
+
+    Dispatches on file content: the v1 graph-store envelope (magic
+    ``REPROGRF``) opens through :func:`repro.graphs.ingest.open_graph`
+    — pass ``mapped=True`` for zero-copy read-only ``np.memmap``
+    views — while an ``.npz`` container loads eagerly (``mapped`` is
+    ignored; npz is compressed and cannot be mapped).
+    """
+    from repro.graphs import ingest
+    path = Path(path)
+    with open(path, "rb") as fh:
+        magic = fh.read(len(ingest.MAGIC))
+    if magic == ingest.MAGIC:
+        return ingest.open_graph(path, mapped=mapped)
     with np.load(path, allow_pickle=False) as z:
         graph = CSRGraph(
             out_oa=z["out_oa"], out_na=z["out_na"],

@@ -94,10 +94,24 @@ GRAPH_SUITE: dict[str, GraphSpec] = {
 @lru_cache(maxsize=32)
 def load_graph(name: str, tier: str = "small",
                weighted: bool = False) -> CSRGraph:
-    """Build (or fetch from the per-process cache) a suite graph."""
+    """Build (or fetch from the per-process cache) a suite graph.
+
+    Names outside the synthetic suite fall through to the ingested
+    graph store (``repro ingest``): the graph opens memory-mapped —
+    shared page-cache across workers, `tier` has no effect on a real
+    graph — with deterministic synthetic weights attached on demand
+    when ``weighted`` and the edge list carried none.
+    """
     try:
         spec = GRAPH_SUITE[name]
     except KeyError:
-        raise ValueError(f"unknown graph {name!r}; "
-                         f"choose from {sorted(GRAPH_SUITE)}") from None
+        from repro.graphs import ingest
+        if ingest.has_ingested(name):
+            g = ingest.load_ingested(name)
+            return ingest.with_synthetic_weights(g) if weighted else g
+        raise ValueError(
+            f"unknown graph {name!r}; choose from "
+            f"{sorted(GRAPH_SUITE)} or an ingested graph "
+            f"({sorted(ingest.list_ingested()) or 'none yet'} — "
+            f"see: repro ingest)") from None
     return spec.build(tier, weighted)

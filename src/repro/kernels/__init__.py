@@ -1,10 +1,13 @@
-"""Reference implementations of the six GAP kernels (paper §IV-B).
+"""Reference implementations of the six GAP kernels (paper §IV-B)
+plus the three post-paper workload families (docs/WORKLOADS.md).
 
 These are the *functional* kernels: correct, vectorized where possible,
 used to validate the instrumented trace-generating versions in
 ``repro.trace.kernels`` and by the examples.  Table II properties
 (execution style, frontier use, irregular element size) are recorded in
-:data:`KERNEL_TABLE`.
+:data:`KERNEL_TABLE` (the paper's six) and :data:`EXTRA_KERNEL_TABLE`
+(random walks, gather-scatter, dynamic updates); :func:`kernel_info`
+looks up either.
 """
 
 from repro.kernels.bfs import bfs
@@ -13,7 +16,11 @@ from repro.kernels.cc import connected_components
 from repro.kernels.bc import betweenness_centrality
 from repro.kernels.tc import triangle_count
 from repro.kernels.sssp import sssp
-from repro.kernels.common import KERNEL_TABLE, KernelInfo, run_kernel
+from repro.kernels.rw import random_walks
+from repro.kernels.gs import gather_scatter
+from repro.kernels.dyn import dynamic_updates
+from repro.kernels.common import (EXTRA_KERNEL_TABLE, KERNEL_TABLE,
+                                  KernelInfo, kernel_info, run_kernel)
 
 __all__ = [
     "bfs",
@@ -22,7 +29,12 @@ __all__ = [
     "betweenness_centrality",
     "triangle_count",
     "sssp",
+    "random_walks",
+    "gather_scatter",
+    "dynamic_updates",
     "KERNEL_TABLE",
+    "EXTRA_KERNEL_TABLE",
     "KernelInfo",
+    "kernel_info",
     "run_kernel",
 ]

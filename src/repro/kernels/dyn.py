@@ -1,0 +1,104 @@
+"""Dynamic-graph update batches interleaved with queries.
+
+A streaming-graph engine's steady state: apply a batch of edge
+deletions and insertions to an overlay over the static CSR, then
+answer a query on the live graph before the next batch.  Queries
+alternate between a BFS reachability probe (even batches — frontier
+pushes over live edges) and a PageRank-style gather (odd batches —
+full pull over live in-edges), so one trace mixes structure *writes*
+(degree updates, NA tombstones, insert-log appends) with both GAP
+query shapes — a pattern none of the six static kernels produce.
+
+Deterministic: one ``np.random.default_rng(seed)`` drives which edges
+each batch deletes/inserts, consumed in a fixed order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+
+def dynamic_updates(graph: CSRGraph, batches: int = 4,
+                    batch_size: int = 256,
+                    seed: int = 0) -> dict[str, np.ndarray]:
+    """Apply ``batches`` update+query rounds over an edge overlay.
+
+    Returns the final overlay state and per-batch query digests:
+    ``alive`` (bool mask over the static CSR's edges), ``inserts``
+    (``(k, 2)`` int64 array of overlay edges, most recent last) and
+    ``query_sums`` (one int64 checksum per batch — BFS visited count
+    or quantized PR mass — pinning the query results for equivalence
+    tests).
+    """
+    n = graph.num_vertices
+    e = graph.num_edges
+    rng = np.random.default_rng(seed)
+    alive = np.ones(e, dtype=bool)
+    inserts: list[np.ndarray] = []
+    sums = np.zeros(max(batches, 0), dtype=np.int64)
+    if n == 0:
+        return {"alive": alive,
+                "inserts": np.empty((0, 2), dtype=np.int64),
+                "query_sums": sums}
+    src_of = np.repeat(np.arange(n, dtype=np.int64),
+                       np.diff(graph.out_oa))
+    for b in range(batches):
+        ndel = min(batch_size // 2, e)
+        if ndel:
+            alive[rng.integers(0, e, size=ndel)] = False
+        new = rng.integers(0, n, size=(batch_size - ndel, 2))
+        new = new[new[:, 0] != new[:, 1]]
+        inserts.append(new)
+        if b % 2 == 0:
+            sums[b] = _bfs_probe(graph, alive, inserts, n,
+                                 int(rng.integers(0, n)))
+        else:
+            sums[b] = _pr_probe(graph, alive, src_of, inserts, n)
+    all_inserts = (np.concatenate(inserts) if inserts
+                   else np.empty((0, 2), dtype=np.int64))
+    return {"alive": alive, "inserts": all_inserts,
+            "query_sums": sums}
+
+
+def _live_out(graph, alive, inserts, frontier, n):
+    """Destinations reachable in one hop from ``frontier`` (live only)."""
+    oa, na = graph.out_oa, graph.out_na
+    starts = oa[frontier].astype(np.int64)
+    counts = (oa[frontier + 1] - oa[frontier]).astype(np.int64)
+    total = int(counts.sum())
+    if total:
+        offsets = np.zeros(len(counts), dtype=np.int64)
+        np.cumsum(counts[:-1], out=offsets[1:])
+        eidx = np.repeat(starts, counts) + \
+            (np.arange(total, dtype=np.int64) -
+             np.repeat(offsets, counts))
+        dsts = na[eidx].astype(np.int64)[alive[eidx]]
+    else:
+        dsts = np.empty(0, dtype=np.int64)
+    extra = [ins[np.isin(ins[:, 0], frontier), 1] for ins in inserts]
+    return np.concatenate([dsts] + extra) if extra else dsts
+
+
+def _bfs_probe(graph, alive, inserts, n, source) -> int:
+    seen = np.zeros(n, dtype=bool)
+    seen[source] = True
+    frontier = np.array([source], dtype=np.int64)
+    while len(frontier):
+        dsts = _live_out(graph, alive, inserts, frontier, n)
+        dsts = np.unique(dsts[~seen[dsts]])
+        seen[dsts] = True
+        frontier = dsts
+    return int(seen.sum())
+
+
+def _pr_probe(graph, alive, src_of, inserts, n) -> int:
+    deg = np.bincount(src_of[alive], minlength=n).astype(np.float64)
+    contrib = np.where(deg > 0, 1.0 / np.maximum(deg, 1), 0.0)
+    mass = np.zeros(n, dtype=np.float64)
+    live_dst = graph.out_na.astype(np.int64)[alive]
+    np.add.at(mass, live_dst, contrib[src_of[alive]])
+    for ins in inserts:
+        np.add.at(mass, ins[:, 1], contrib[ins[:, 0]])
+    return int(np.round(mass.sum() * 1024))

@@ -1,0 +1,37 @@
+"""Gather-scatter feature aggregation (GNN message passing).
+
+One round of mean aggregation: every vertex pulls the ``feature_dim``
+-wide feature vectors of its in-neighbours, averages them with its own,
+and writes the result — the access core of a GraphSAGE/GCN layer.  The
+irregular element here is the *entire feature row* (``4 * feature_dim``
+bytes), not a 4/8 B scalar like the GAP kernels: the ``gs`` trace
+family exists to measure how the paper's LP/SDC mechanisms behave when
+each data-dependent access drags in multiple cache lines.
+
+Deterministic: features are initialized from the vertex id, no RNG.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+
+def gather_scatter(graph: CSRGraph, feature_dim: int = 16,
+                   rounds: int = 2) -> np.ndarray:
+    """Run ``rounds`` of mean aggregation; returns ``float64[n, d]``."""
+    n = graph.num_vertices
+    feats = ((np.arange(n, dtype=np.float64)[:, None] * 31 +
+              np.arange(feature_dim, dtype=np.float64)[None, :])
+             % 97) / 97.0
+    if n == 0:
+        return feats
+    in_deg = np.diff(graph.in_oa).astype(np.int64)
+    targets = np.repeat(np.arange(n, dtype=np.int64), in_deg)
+    sources = graph.in_na.astype(np.int64)
+    for _ in range(rounds):
+        agg = np.zeros_like(feats)
+        np.add.at(agg, targets, feats[sources])
+        feats = (agg + feats) / (in_deg + 1)[:, None]
+    return feats

@@ -1,0 +1,57 @@
+"""Seeded random walks (node2vec-style sampling, without the bias
+weights): the access pattern behind embedding samplers and
+approximate-PPR engines.
+
+Each of ``num_walks`` walkers takes ``walk_length`` steps; at every
+step a walker at ``u`` either teleports back to its start vertex
+(probability ``restart``, also on dead ends) or moves to a uniformly
+sampled out-neighbour.  All randomness comes from one
+``np.random.default_rng(seed)`` consumed in a fixed order, so the walk
+set — and therefore the memory trace derived from it — is a pure
+function of ``(graph, arguments)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph
+
+
+def random_walks(graph: CSRGraph, num_walks: int = 64,
+                 walk_length: int = 16, seed: int = 0,
+                 restart: float = 0.15) -> np.ndarray:
+    """Run the walks; returns per-vertex visit counts (``int64[n]``).
+
+    The visit counter is the irregularly-updated property array: every
+    step's ``visits[next] += 1`` lands at a data-dependent address,
+    which is what the ``rw`` trace family measures.
+    """
+    n = graph.num_vertices
+    visits = np.zeros(n, dtype=np.int64)
+    if n == 0 or num_walks <= 0:
+        return visits
+    rng = np.random.default_rng(seed)
+    deg = np.diff(graph.out_oa).astype(np.int64)
+    candidates = np.flatnonzero(deg > 0)
+    if len(candidates) == 0:
+        return visits
+    starts = candidates[rng.integers(0, len(candidates),
+                                     size=num_walks)]
+    cur = starts.copy()
+    visits += np.bincount(cur, minlength=n)
+    for _ in range(walk_length):
+        teleport = rng.random(num_walks) < restart
+        pick = rng.random(num_walks)          # one draw per walk, always
+        d = deg[cur]
+        teleport |= d == 0
+        offs = (pick * np.maximum(d, 1)).astype(np.int64)
+        nxt = np.where(
+            teleport, starts,
+            graph.out_na[graph.out_oa[cur] + np.minimum(offs,
+                                                        np.maximum(d - 1,
+                                                                   0))]
+            .astype(np.int64))
+        cur = nxt
+        visits += np.bincount(cur, minlength=n)
+    return visits

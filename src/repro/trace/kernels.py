@@ -691,6 +691,290 @@ def _trace_sssp_relax(tb, graph, dist, frontier, w, delta, light,
     return False
 
 
+# ---------------------------------------------------------------------------
+# Random walks: node2vec-style sampling (post-paper family, docs/WORKLOADS.md).
+# ---------------------------------------------------------------------------
+
+def trace_rw(graph: CSRGraph, num_walks: int = 64,
+             walk_length: int = 16, seed: int = 0,
+             restart: float = 0.15,
+             max_accesses: int | None = None) -> Trace:
+    """Trace of seeded random walks (mirrors ``kernels.random_walks``).
+
+    Per step and walker: a sequential walk-state load, an irregular
+    OA load at the walker's current vertex, a dependent NA load of the
+    sampled neighbour, and an irregular visit-counter store — a pure
+    pointer-chase with almost no spatial reuse, the adversarial case
+    for stride prefetchers and the friendly case for LP/SDC.
+    """
+    n = graph.num_vertices
+    space = AddressSpace()
+    oa_r = space.add("out_oa", 8, n + 1, irregular_hint=True)
+    na_r = space.add("out_na", 4, max(len(graph.out_na), 1),
+                     irregular_hint=True)
+    visit_r = space.add("visits", 4, max(n, 1), irregular_hint=True)
+    walk_r = space.add("walk_state", 4, max(num_walks, 1))
+
+    tb = TraceBuilder(space, name=f"rw.{graph.name}", kernel="rw",
+                      graph=graph.name)
+    pc_walk = tb.pc("rw.load_walk_state")
+    pc_oa = tb.pc("rw.load_oa")
+    pc_na = tb.pc("rw.load_na_sample")
+    pc_visit = tb.pc("rw.store_visit")
+
+    if n == 0 or num_walks <= 0:
+        return _finish(tb, max_accesses)
+    rng = np.random.default_rng(seed)
+    deg = np.diff(graph.out_oa).astype(np.int64)
+    candidates = np.flatnonzero(deg > 0)
+    if len(candidates) == 0:
+        return _finish(tb, max_accesses)
+    starts = candidates[rng.integers(0, len(candidates),
+                                     size=num_walks)]
+    cur = starts.copy()
+    walk_ids = np.arange(num_walks, dtype=np.int64)
+    tb.emit(pc_visit, visit_r.addr(cur), write=True, gap=1)
+
+    for _ in range(walk_length):
+        if _full(tb, max_accesses):
+            break
+        teleport = rng.random(num_walks) < restart
+        pick = rng.random(num_walks)
+        d = deg[cur]
+        teleport |= d == 0
+        offs = np.minimum((pick * np.maximum(d, 1)).astype(np.int64),
+                          np.maximum(d - 1, 0))
+        eidx = graph.out_oa[cur].astype(np.int64) + offs
+        nxt = np.where(teleport, starts,
+                       graph.out_na[eidx].astype(np.int64))
+        counts = np.where(teleport, 0, 1).astype(np.int64)
+        tb.append_chunk(assemble_vertex_edge_stream(
+            counts,
+            header=[SegmentField(pc_walk, walk_r.addr(walk_ids), gap=1),
+                    SegmentField(pc_oa, oa_r.addr(cur), gap=1)],
+            edge=[SegmentField(pc_na, na_r.addr(eidx[~teleport]),
+                               gap=2, dep_rel=-1)],
+            footer=[SegmentField(pc_visit, visit_r.addr(nxt),
+                                 write=True, gap=1)]))
+        cur = nxt
+    return _finish(tb, max_accesses)
+
+
+# ---------------------------------------------------------------------------
+# Gather-scatter: GNN feature aggregation (post-paper family).
+# ---------------------------------------------------------------------------
+
+def trace_gs(graph: CSRGraph, feature_dim: int = 16, rounds: int = 2,
+             max_accesses: int | None = None) -> Trace:
+    """Trace of mean feature aggregation (``kernels.gather_scatter``).
+
+    Shaped like PageRank's pull — OA walk, NA loads, data-dependent
+    gathers — but the irregular element is a whole ``4 * feature_dim``
+    byte feature row instead of a 4 B scalar, so each gather spans
+    multiple cache lines (the large-irregular-element case the paper's
+    Table II does not cover).
+    """
+    n = graph.num_vertices
+    space = AddressSpace()
+    oa_r = space.add("in_oa", 8, n + 1)
+    na_r = space.add("in_na", 4, max(len(graph.in_na), 1))
+    feat_r = space.add("feat_in", 4 * feature_dim, max(n, 1),
+                       irregular_hint=True)
+    out_r = space.add("feat_out", 4 * feature_dim, max(n, 1))
+
+    tb = TraceBuilder(space, name=f"gs.{graph.name}", kernel="gs",
+                      graph=graph.name)
+    pc_oa = tb.pc("gs.load_oa")
+    pc_na = tb.pc("gs.load_na")
+    pc_gather = tb.pc("gs.load_feat")
+    pc_self = tb.pc("gs.load_feat_self")
+    pc_store = tb.pc("gs.store_feat")
+
+    verts = np.arange(n, dtype=np.int64)
+    counts = np.diff(graph.in_oa).astype(np.int64)
+    edge_idx = np.arange(len(graph.in_na), dtype=np.int64)
+    neigh = graph.in_na.astype(np.int64)
+
+    for _ in range(rounds):
+        tb.append_chunk(assemble_vertex_edge_stream(
+            counts,
+            header=[SegmentField(pc_oa, oa_r.addr(verts + 1), gap=1)],
+            edge=[SegmentField(pc_na, na_r.addr(edge_idx), gap=1,
+                               unroll=UNROLL),
+                  SegmentField(pc_gather, feat_r.addr(neigh), gap=2,
+                               dep_rel=-1, unroll=UNROLL)],
+            footer=[SegmentField(pc_self, feat_r.addr(verts), gap=2),
+                    SegmentField(pc_store, out_r.addr(verts),
+                                 write=True, gap=3)]))
+        if _full(tb, max_accesses):
+            break
+    return _finish(tb, max_accesses)
+
+
+# ---------------------------------------------------------------------------
+# Dynamic-graph updates interleaved with queries (post-paper family).
+# ---------------------------------------------------------------------------
+
+def trace_dyn(graph: CSRGraph, batches: int = 4, batch_size: int = 256,
+              seed: int = 0, max_accesses: int | None = None) -> Trace:
+    """Trace of update batches + queries (``kernels.dynamic_updates``).
+
+    Each batch's update phase *mutates structure* — irregular degree
+    stores, NA tombstone writes, sequential insert-log appends —
+    which no static GAP kernel ever does; the following query phase is
+    a BFS reachability probe (even batches) or a PageRank-style
+    scatter (odd batches) over the live overlay, with a sequential
+    insert-log rescan per step.  RNG draws replicate the reference
+    kernel's order exactly, so the trace is a pure function of
+    ``(graph, batches, batch_size, seed)``.
+    """
+    n = graph.num_vertices
+    e = graph.num_edges
+    space = AddressSpace()
+    oa_r = space.add("out_oa", 8, n + 1, irregular_hint=True)
+    na_r = space.add("out_na", 4, max(e, 1), irregular_hint=True)
+    deg_r = space.add("degree", 4, max(n, 1), irregular_hint=True)
+    log_r = space.add("insert_log", 8,
+                      max(batches * batch_size, 1))
+    seen_r = space.add("seen", 4, max(n, 1), irregular_hint=True)
+    mass_r = space.add("mass", 4, max(n, 1), irregular_hint=True)
+
+    tb = TraceBuilder(space, name=f"dyn.{graph.name}", kernel="dyn",
+                      graph=graph.name)
+    pc_doa = tb.pc("dyn.del.load_oa")
+    pc_dna = tb.pc("dyn.del.store_na_tombstone")
+    pc_ddeg = tb.pc("dyn.del.store_degree")
+    pc_ioa = tb.pc("dyn.ins.load_oa")
+    pc_ilog = tb.pc("dyn.ins.store_log")
+    pc_ideg = tb.pc("dyn.ins.store_degree")
+    pc_qoa = tb.pc("dyn.bfs.load_oa")
+    pc_qna = tb.pc("dyn.bfs.load_na")
+    pc_qseen = tb.pc("dyn.bfs.load_seen")
+    pc_qset = tb.pc("dyn.bfs.store_seen")
+    pc_qlog = tb.pc("dyn.query.load_log")
+    pc_poa = tb.pc("dyn.pr.load_oa")
+    pc_pna = tb.pc("dyn.pr.load_na")
+    pc_pmass = tb.pc("dyn.pr.load_mass")
+    pc_pst = tb.pc("dyn.pr.store_mass")
+
+    if n == 0:
+        return _finish(tb, max_accesses)
+    rng = np.random.default_rng(seed)
+    alive = np.ones(e, dtype=bool)
+    src_of = np.repeat(np.arange(n, dtype=np.int64),
+                       np.diff(graph.out_oa))
+    log_len = 0
+
+    for b in range(batches):
+        if _full(tb, max_accesses):
+            break
+        # Update phase: deletions then insertions (kernel's RNG order).
+        ndel = min(batch_size // 2, e)
+        if ndel:
+            del_idx = rng.integers(0, e, size=ndel)
+            alive[del_idx] = False
+            du = src_of[del_idx]
+            tb.append_chunk(assemble_vertex_edge_stream(
+                np.zeros(ndel, dtype=np.int64),
+                header=[SegmentField(pc_doa, oa_r.addr(du), gap=1),
+                        SegmentField(pc_dna, na_r.addr(del_idx),
+                                     write=True, gap=1),
+                        SegmentField(pc_ddeg, deg_r.addr(du),
+                                     write=True, gap=2)],
+                edge=[], footer=[]))
+        new = rng.integers(0, n, size=(batch_size - ndel, 2))
+        new = new[new[:, 0] != new[:, 1]]
+        if len(new):
+            slots = log_len + np.arange(len(new), dtype=np.int64)
+            log_len += len(new)
+            tb.append_chunk(assemble_vertex_edge_stream(
+                np.zeros(len(new), dtype=np.int64),
+                header=[SegmentField(pc_ioa, oa_r.addr(new[:, 0]),
+                                     gap=1),
+                        SegmentField(pc_ilog, log_r.addr(slots),
+                                     write=True, gap=1),
+                        SegmentField(pc_ideg, deg_r.addr(new[:, 0]),
+                                     write=True, gap=2)],
+                edge=[], footer=[]))
+        if _full(tb, max_accesses):
+            break
+        # Query phase: BFS probe (even) / PR scatter (odd).
+        if b % 2 == 0:
+            _trace_dyn_bfs(tb, graph, alive, int(rng.integers(0, n)),
+                           log_len, (oa_r, na_r, seen_r, log_r),
+                           (pc_qoa, pc_qna, pc_qseen, pc_qset, pc_qlog),
+                           max_accesses)
+        else:
+            _trace_dyn_pr(tb, graph, alive, log_len,
+                          (oa_r, na_r, mass_r, log_r),
+                          (pc_poa, pc_pna, pc_pmass, pc_pst, pc_qlog))
+    return _finish(tb, max_accesses)
+
+
+def _trace_dyn_bfs(tb, graph, alive, source, log_len, regions, pcs,
+                   max_accesses):
+    """BFS reachability probe over the live overlay (push only)."""
+    oa_r, na_r, seen_r, log_r = regions
+    pc_oa, pc_na, pc_seen, pc_set, pc_log = pcs
+    n = graph.num_vertices
+    oa, na = graph.out_oa, graph.out_na
+    seen = np.zeros(n, dtype=bool)
+    seen[source] = True
+    frontier = np.array([source], dtype=np.int64)
+    while len(frontier) and not _full(tb, max_accesses):
+        counts = (oa[frontier + 1] - oa[frontier]).astype(np.int64)
+        eidx = _edge_indices(oa, frontier)
+        dsts = na[eidx].astype(np.int64)
+        fresh = alive[eidx] & ~seen[dsts]
+        first = np.zeros(len(dsts), dtype=bool)
+        if len(dsts):
+            _, first_idx = np.unique(dsts, return_index=True)
+            first[first_idx] = True
+        store = fresh & first
+        tb.append_chunk(assemble_vertex_edge_stream(
+            counts,
+            header=[SegmentField(pc_oa, oa_r.addr(frontier), gap=1)],
+            edge=[SegmentField(pc_na, na_r.addr(eidx), gap=1,
+                               unroll=UNROLL),
+                  SegmentField(pc_seen, seen_r.addr(dsts), gap=2,
+                               dep_rel=-1, unroll=UNROLL),
+                  SegmentField(pc_set, seen_r.addr(dsts), write=True,
+                               gap=1, dep_rel=-1, mask=store,
+                               unroll=UNROLL)],
+            footer=[]))
+        if log_len:
+            tb.emit(pc_log,
+                    log_r.addr(np.arange(log_len, dtype=np.int64)),
+                    gap=1)
+        nxt = np.unique(dsts[store])
+        seen[nxt] = True
+        frontier = nxt
+
+
+def _trace_dyn_pr(tb, graph, alive, log_len, regions, pcs):
+    """One PageRank-style scatter pass over the live overlay."""
+    oa_r, na_r, mass_r, log_r = regions
+    pc_oa, pc_na, pc_mass, pc_st, pc_log = pcs
+    n = graph.num_vertices
+    verts = np.arange(n, dtype=np.int64)
+    counts = np.diff(graph.out_oa).astype(np.int64)
+    eidx = np.arange(graph.num_edges, dtype=np.int64)
+    dsts = graph.out_na.astype(np.int64)
+    tb.append_chunk(assemble_vertex_edge_stream(
+        counts,
+        header=[SegmentField(pc_oa, oa_r.addr(verts + 1), gap=1)],
+        edge=[SegmentField(pc_na, na_r.addr(eidx), gap=1,
+                           unroll=UNROLL),
+              SegmentField(pc_mass, mass_r.addr(dsts), gap=2,
+                           dep_rel=-1, unroll=UNROLL),
+              SegmentField(pc_st, mass_r.addr(dsts), write=True, gap=1,
+                           dep_rel=-1, mask=alive, unroll=UNROLL)],
+        footer=[]))
+    if log_len:
+        tb.emit(pc_log, log_r.addr(np.arange(log_len, dtype=np.int64)),
+                gap=1)
+
+
 TRACERS = {
     "pr": trace_pagerank,
     "bfs": trace_bfs,
@@ -698,17 +982,22 @@ TRACERS = {
     "tc": trace_tc,
     "bc": trace_bc,
     "sssp": trace_sssp,
+    "rw": trace_rw,
+    "gs": trace_gs,
+    "dyn": trace_dyn,
 }
 
 
 def generate_trace(kernel: str, graph: CSRGraph,
                    max_accesses: int | None = None, **kwargs) -> Trace:
-    """Dispatch to the instrumented kernel by GAP short name.
+    """Dispatch to the instrumented kernel by short name.
 
-    ``kernel`` is one of :data:`TRACERS` (``bfs``/``pr``/``cc``/``bc``/
-    ``tc``/``sssp``); ``graph`` is the CSR input the algorithm actually
-    runs over, so the trace reflects that graph's degree distribution
-    and neighbour ordering.
+    ``kernel`` is one of :data:`TRACERS` — the six GAP kernels
+    (``bfs``/``pr``/``cc``/``bc``/``tc``/``sssp``) plus the
+    post-paper families (``rw``/``gs``/``dyn``, docs/WORKLOADS.md);
+    ``graph`` is the CSR input the algorithm actually runs over, so
+    the trace reflects that graph's degree distribution and neighbour
+    ordering.
 
     ``max_accesses`` caps the trace length: generation runs the real
     algorithm (all frontiers/rounds/buckets) but stops emitting once
@@ -720,7 +1009,9 @@ def generate_trace(kernel: str, graph: CSRGraph,
     Remaining ``kwargs`` pass through to the specific tracer:
     ``iterations`` (pr), ``source`` (bfs/sssp), ``num_sources``/
     ``seed`` (bc), ``delta`` (sssp), ``max_rounds`` (cc), ``scan_cap``
-    (tc).  The result is deterministic in
+    (tc), ``num_walks``/``walk_length``/``seed``/``restart`` (rw),
+    ``feature_dim``/``rounds`` (gs), ``batches``/``batch_size``/
+    ``seed`` (dyn).  The result is deterministic in
     ``(kernel, graph, arguments)`` — there is no hidden RNG — which is
     what lets the trace cache key on the spec alone (docs/TRACES.md).
 

@@ -25,7 +25,18 @@ class TestCheapCommands:
     def test_workloads(self, capsys):
         assert main(["workloads"]) == 0
         lines = capsys.readouterr().out.strip().splitlines()
-        assert len(lines) == 36
+        assert len(lines) == 54  # 36 GAP + 18 post-paper family cells
+        assert "rw.kron" in lines and "gs.urand" in lines \
+            and "dyn.web" in lines
+
+    def test_workloads_json_families(self, capsys):
+        import json
+        assert main(["workloads", "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 54
+        fams = {r["family"] for r in rows}
+        assert fams == {"gap", "rw", "gs", "dyn"}
+        assert sum(r["family"] == "gap" for r in rows) == 36
 
     def test_no_command_errors(self):
         with pytest.raises(SystemExit):
